@@ -1,0 +1,148 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation on the synthetic dataset analogs.
+//
+// Usage:
+//
+//	benchall -exp all                 # everything (Tables I–II, Figures 2–5, extras)
+//	benchall -exp fig3 -arch cpu      # one figure, one architecture
+//	benchall -exp table2 -scale 0.5   # smaller instances
+//	benchall -exp ablation-parts -graphs lp1,webbase-1M
+//
+// Experiments: table1, table2, fig2, fig3, fig4, fig5, colors,
+// ablation-parts, ablation-degk, ablation-order, ablation-relabel,
+// ablation-bfs, baselines, ext-biconn, remark1, quality, scaling,
+// mm-progress, decomp-stats, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see doc comment)")
+	arch := flag.String("arch", "both", "cpu, gpu, or both (figures only)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	seed := flag.Uint64("seed", 1, "random seed")
+	repeats := flag.Int("repeats", 1, "timed repetitions per cell (median)")
+	graphs := flag.String("graphs", "", "comma-separated instance names (default: all 12)")
+	verify := flag.Bool("verify", true, "verify every solution")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+	flag.Parse()
+
+	cfg := harness.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Repeats: *repeats,
+		Verify:  *verify,
+	}
+	if *graphs != "" {
+		cfg.Graphs = strings.Split(*graphs, ",")
+		for _, name := range cfg.Graphs {
+			if _, ok := dataset.Get(name); !ok {
+				fmt.Fprintf(os.Stderr, "benchall: unknown instance %q (known: %v)\n",
+					name, dataset.Names())
+				os.Exit(2)
+			}
+		}
+	}
+
+	emit := func(t *harness.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *md:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.Render())
+		}
+	}
+	archs := func() []core.Arch {
+		switch *arch {
+		case "cpu":
+			return []core.Arch{core.ArchCPU}
+		case "gpu":
+			return []core.Arch{core.ArchGPU}
+		default:
+			return []core.Arch{core.ArchCPU, core.ArchGPU}
+		}
+	}
+
+	start := time.Now()
+	run := func(id string) {
+		switch id {
+		case "table1":
+			emit(harness.Table1(cfg))
+		case "table2":
+			emit(harness.Table2(cfg))
+		case "fig2":
+			emit(harness.Fig2(cfg))
+		case "fig3":
+			for _, a := range archs() {
+				t, _ := harness.Fig3(cfg, a)
+				emit(t)
+			}
+		case "fig4":
+			for _, a := range archs() {
+				t, _ := harness.Fig4(cfg, a)
+				emit(t)
+			}
+		case "fig5":
+			for _, a := range archs() {
+				t, _ := harness.Fig5(cfg, a)
+				emit(t)
+			}
+		case "colors":
+			emit(harness.ColorCounts(cfg))
+		case "ablation-parts":
+			emit(harness.AblationParts(cfg))
+		case "ablation-degk":
+			emit(harness.AblationDegk(cfg))
+		case "ablation-order":
+			emit(harness.AblationOrder(cfg))
+		case "decomp-stats":
+			emit(harness.DecompStats(cfg))
+		case "mm-progress":
+			emit(harness.MMProgress(cfg))
+		case "ablation-relabel":
+			emit(harness.RelabelAblation(cfg))
+		case "ablation-bfs":
+			emit(harness.BFSAblation(cfg))
+		case "baselines":
+			for _, tb := range harness.Baselines(cfg) {
+				emit(tb)
+			}
+		case "ext-biconn":
+			emit(harness.ExtBiconn(cfg))
+		case "remark1":
+			emit(harness.Remark1(cfg))
+		case "quality":
+			emit(harness.Quality(cfg))
+		case "scaling":
+			emit(harness.Scaling(cfg))
+		default:
+			fmt.Fprintf(os.Stderr, "benchall: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{
+			"table2", "fig2", "fig3", "fig4", "fig5", "table1", "colors",
+			"decomp-stats",
+		} {
+			run(id)
+		}
+	} else {
+		run(*exp)
+	}
+	fmt.Fprintf(os.Stderr, "benchall: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,72 @@
+// Command decomp runs one graph decomposition on a dataset instance (or a
+// graph file) and prints the subgraph inventory and timing — one cell of
+// the paper's Figure 2.
+//
+// Usage:
+//
+//	decomp -technique bridge lp1
+//	decomp -technique rand -parts 10 germany-osm
+//	decomp -technique degk -k 2 -file graph.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/decomp"
+)
+
+func main() {
+	technique := flag.String("technique", "degk", "bridge, rand, degk, labelprop, or multilevel")
+	parts := flag.Int("parts", 10, "RAND/LABELPROP partition count")
+	k := flag.Int("k", 2, "DEGk threshold")
+	iters := flag.Int("iters", 5, "LABELPROP iterations")
+	seed := flag.Uint64("seed", 1, "seed")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	file := flag.String("file", "", "read a graph from a file (edge list, or METIS for .graph/.metis)")
+	flag.Parse()
+
+	g, err := cli.LoadGraph(*file, flag.Args(), *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var r *decomp.Result
+	switch *technique {
+	case "bridge":
+		r = decomp.Bridge(g)
+	case "rand":
+		r = decomp.Rand(g, *parts, *seed)
+	case "degk":
+		r = decomp.Degk(g, *k)
+	case "labelprop":
+		r = decomp.LabelProp(g, *parts, *iters, *seed)
+	case "multilevel":
+		r = decomp.Multilevel(g, *parts, *seed)
+	default:
+		fatal(fmt.Errorf("unknown technique %q", *technique))
+	}
+
+	fmt.Printf("technique:   %v\n", r.Technique)
+	fmt.Printf("graph:       |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("parts:       %d (holding %d edges)\n", len(r.Parts), r.PartEdges())
+	for i, p := range r.Parts {
+		if len(r.Parts) <= 8 {
+			fmt.Printf("  part %d:    |V|=%d |E|=%d\n", i, p.NumVertices(), p.NumEdges())
+		}
+	}
+	fmt.Printf("cross:       |V|=%d |E|=%d\n", r.Cross.NumVertices(), r.Cross.NumEdges())
+	if r.Technique == decomp.TechBridge {
+		fmt.Printf("bridges:     %d (%.2f%% of edges)\n", len(r.Bridges),
+			100*float64(len(r.Bridges))/float64(g.NumEdges()))
+	}
+	fmt.Printf("rounds:      %d\n", r.Rounds)
+	fmt.Printf("elapsed:     %v\n", r.Elapsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "decomp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command graphgen writes a dataset analog (or a raw generator output) to
+// an edge-list file that cmd/decomp and cmd/symbreak can read back.
+//
+// Usage:
+//
+//	graphgen -out lp1.txt lp1
+//	graphgen -out kron.txt -generator kron -n 65536 -param 16
+//	graphgen -out rgg.txt -generator rgg -n 100000 -param 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	metis := flag.Bool("metis", false, "write METIS adjacency format instead of edge list")
+	generator := flag.String("generator", "", "raw generator: kron, rgg, road, prefattach, community, banded, lp, web")
+	n := flag.Int("n", 100000, "raw generator size")
+	param := flag.Float64("param", 8, "raw generator shape parameter (edge factor / avg degree / out degree)")
+	seed := flag.Uint64("seed", 1, "seed")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *generator != "":
+		var err error
+		g, err = rawGenerate(*generator, *n, *param, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1:
+		spec, ok := dataset.Get(flag.Arg(0))
+		if !ok {
+			fatal(fmt.Errorf("unknown instance %q (known: %v)", flag.Arg(0), dataset.Names()))
+		}
+		g = spec.Build(*scale, *seed)
+	default:
+		fatal(fmt.Errorf("need an instance name or -generator"))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	writeFn := graph.Write
+	if *metis {
+		writeFn = graph.WriteMETIS
+	}
+	if err := writeFn(w, g); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: wrote |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+}
+
+func rawGenerate(name string, n int, param float64, seed uint64) (*graph.Graph, error) {
+	switch name {
+	case "kron":
+		scale := 0
+		for (1 << uint(scale)) < n {
+			scale++
+		}
+		return gen.Kron(scale, int(param), seed), nil
+	case "rgg":
+		return gen.RGG(n, gen.DegreeRadius(n, param), seed), nil
+	case "road":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return gen.Road(side, side, 4, 0.3, seed), nil
+	case "prefattach":
+		return gen.PrefAttach(n, int(param), seed), nil
+	case "community":
+		return gen.Community(n, 25, int(param), 1, seed), nil
+	case "banded":
+		return gen.Banded(n, 20, int(param), 0.35, seed), nil
+	case "lp":
+		return gen.LP(n, seed), nil
+	case "web":
+		return gen.Web(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command graphstat prints Table II style statistics for the registered
+// dataset analogs (or a graph file), side by side with the paper's
+// published numbers.
+//
+// Usage:
+//
+//	graphstat [-scale 1.0] [-seed 1] [-bridges] [name ...]
+//	graphstat -file graph.txt
+//
+// With no names, all twelve instances are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default bench size)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	file := flag.String("file", "", "read a graph from a file instead (edge list, or METIS for .graph/.metis)")
+	bridges := flag.Bool("bridges", true, "compute %BRIDGES (sequential oracle; slow on huge graphs)")
+	flag.Parse()
+
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		g, err := graph.ReadAuto(*file, f)
+		if err != nil {
+			fatal(err)
+		}
+		s := graph.ComputeStats(g, *bridges)
+		fmt.Println(s)
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = dataset.Names()
+	}
+	fmt.Printf("%-18s %10s %10s %7s %9s %7s | paper: %10s %11s %7s %9s %7s\n",
+		"instance", "|V|", "|E|", "%DEG2", "%BRIDGES", "avgdeg", "|V|", "|E|", "%DEG2", "%BRIDGES", "avgdeg")
+	for _, name := range names {
+		spec, ok := dataset.Get(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown instance %q (known: %v)", name, dataset.Names()))
+		}
+		start := time.Now()
+		g := dataset.Load(spec, *scale, *seed)
+		buildTime := time.Since(start)
+		s := graph.ComputeStats(g, *bridges)
+		p := spec.Paper
+		fmt.Printf("%-18s %10d %10d %7.1f %9.1f %7.1f | %10d %11d %7.1f %9.1f %7.1f  (build %v)\n",
+			spec.Name, s.Vertices, s.Edges, s.PctDeg2, s.PctBridges, s.AvgDegree,
+			p.Vertices, p.Edges, p.PctDeg2, p.PctBridges, p.AvgDegree,
+			buildTime.Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphstat:", err)
+	os.Exit(1)
+}

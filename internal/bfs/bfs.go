@@ -1,0 +1,118 @@
+// Package bfs implements level-synchronous parallel breadth-first search.
+// It produces the parent and level arrays (P(v), L(v)) that Step 1 of the
+// paper's BRIDGE decomposition (Algorithm 1) requires, and supports
+// multi-source searches so decomposition also works on disconnected inputs
+// (the RAND and DEGk subgraphs "may be disconnected in nature").
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Unreached marks a vertex the search did not visit.
+const Unreached int32 = -2
+
+// Tree is a BFS forest over a graph. For a root r, Parent[r] == -1 and
+// Level[r] == 0, matching the paper's convention. Vertices not reached have
+// Parent == Unreached and Level == -1.
+type Tree struct {
+	Parent []int32
+	Level  []int32
+	Roots  []int32
+	// Depth is the number of BFS levels executed (the height of the
+	// deepest tree plus one); it is also the number of parallel rounds,
+	// the quantity that makes BRIDGE slow on large-diameter graphs.
+	Depth int
+}
+
+// IsTreeEdge reports whether {u, v} is a tree edge of the forest.
+func (t *Tree) IsTreeEdge(u, v int32) bool {
+	return t.Parent[u] == v || t.Parent[v] == u
+}
+
+// FromRoot runs a parallel BFS from a single root.
+func FromRoot(g *graph.Graph, root int32) *Tree {
+	return run(g, []int32{root})
+}
+
+// Forest runs parallel BFS from the smallest-id vertex of every connected
+// component, covering all vertices.
+func Forest(g *graph.Graph) *Tree {
+	n := g.NumVertices()
+	label, nc := graph.ConnectedComponents(g)
+	roots := make([]int32, nc)
+	par.Fill(roots, int32(-1))
+	// Component ids are ordered by smallest member, so the first vertex of
+	// each component encountered in index order is its smallest.
+	for v := 0; v < n; v++ {
+		if roots[label[v]] == -1 {
+			roots[label[v]] = int32(v)
+		}
+	}
+	return run(g, roots)
+}
+
+// run executes the level-synchronous search from the given roots.
+func run(g *graph.Graph, roots []int32) *Tree {
+	n := g.NumVertices()
+	t := &Tree{
+		Parent: make([]int32, n),
+		Level:  make([]int32, n),
+		Roots:  roots,
+	}
+	par.Fill(t.Parent, Unreached)
+	par.Fill(t.Level, int32(-1))
+
+	visited := par.NewBitset(n)
+	frontier := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		if visited.TestAndSet(int(r)) {
+			t.Parent[r] = -1
+			t.Level[r] = 0
+			frontier = append(frontier, r)
+		}
+	}
+
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		next := expand(g, t, visited, frontier, level)
+		frontier = next
+		t.Depth++
+	}
+	return t
+}
+
+// expand computes the next frontier: every unvisited neighbor of the
+// current frontier is claimed atomically by exactly one parent. Per-chunk
+// output buffers are concatenated with a prefix sum so the result is
+// allocated once.
+func expand(g *graph.Graph, t *Tree, visited *par.Bitset, frontier []int32, level int32) []int32 {
+	nf := len(frontier)
+	nc := par.NumChunks(nf)
+	bufs := make([][]int32, nc)
+	par.RangeIdx(nf, func(w, lo, hi int) {
+		var out []int32
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			for _, u := range g.Neighbors(v) {
+				if visited.TestAndSet(int(u)) {
+					t.Parent[u] = v
+					t.Level[u] = level
+					out = append(out, u)
+				}
+			}
+		}
+		bufs[w] = out
+	})
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	next := make([]int32, 0, total)
+	for _, b := range bufs {
+		next = append(next, b...)
+	}
+	return next
+}

@@ -1,0 +1,192 @@
+package bfs
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+func gridGraph(r, c int) *graph.Graph {
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int32 { return int32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	r := par.NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// sequentialLevels is the oracle for BFS distances.
+func sequentialLevels(g *graph.Graph, root int32) []int32 {
+	n := g.NumVertices()
+	lvl := make([]int32, n)
+	for i := range lvl {
+		lvl[i] = -1
+	}
+	lvl[root] = 0
+	q := []int32{root}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, w := range g.Neighbors(v) {
+			if lvl[w] == -1 {
+				lvl[w] = lvl[v] + 1
+				q = append(q, w)
+			}
+		}
+	}
+	return lvl
+}
+
+// checkTree verifies structural invariants of a BFS tree/forest.
+func checkTree(t *testing.T, g *graph.Graph, tr *Tree) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		p := tr.Parent[v]
+		switch {
+		case p == Unreached:
+			if tr.Level[v] != -1 {
+				t.Fatalf("unreached vertex %d has level %d", v, tr.Level[v])
+			}
+		case p == -1:
+			if tr.Level[v] != 0 {
+				t.Fatalf("root %d has level %d", v, tr.Level[v])
+			}
+		default:
+			if !g.HasEdge(int32(v), p) {
+				t.Fatalf("tree edge {%d,%d} not in graph", v, p)
+			}
+			if tr.Level[v] != tr.Level[p]+1 {
+				t.Fatalf("level[%d]=%d but level[parent=%d]=%d", v, tr.Level[v], p, tr.Level[p])
+			}
+		}
+	}
+}
+
+func TestFromRootLevelsMatchOracle(t *testing.T) {
+	cases := []*graph.Graph{
+		pathGraph(100),
+		gridGraph(20, 30),
+		randomGraph(500, 2500, 1),
+	}
+	for ci, g := range cases {
+		tr := FromRoot(g, 0)
+		checkTree(t, g, tr)
+		want := sequentialLevels(g, 0)
+		for v := range want {
+			if tr.Level[v] != want[v] {
+				t.Fatalf("case %d: level[%d] = %d, want %d", ci, v, tr.Level[v], want[v])
+			}
+		}
+	}
+}
+
+func TestFromRootDepth(t *testing.T) {
+	g := pathGraph(50)
+	tr := FromRoot(g, 0)
+	if tr.Depth != 50 {
+		t.Fatalf("Depth = %d, want 50 (49 levels + root round)", tr.Depth)
+	}
+}
+
+func TestFromRootUnreached(t *testing.T) {
+	// Two components; BFS from component 0 leaves component 1 unreached.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	tr := FromRoot(g, 0)
+	for _, v := range []int32{2, 3, 4, 5} {
+		if tr.Parent[v] != Unreached || tr.Level[v] != -1 {
+			t.Fatalf("vertex %d should be unreached, got parent=%d level=%d", v, tr.Parent[v], tr.Level[v])
+		}
+	}
+}
+
+func TestForestCoversDisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	// 5..9 isolated
+	g := b.Build()
+	tr := Forest(g)
+	checkTree(t, g, tr)
+	for v := 0; v < g.NumVertices(); v++ {
+		if tr.Parent[v] == Unreached {
+			t.Fatalf("Forest left vertex %d unreached", v)
+		}
+	}
+	if len(tr.Roots) != 7 { // components: {0,1},{2,3,4},5,6,7,8,9
+		t.Fatalf("Forest has %d roots, want 7", len(tr.Roots))
+	}
+}
+
+func TestIsTreeEdge(t *testing.T) {
+	g := pathGraph(4)
+	tr := FromRoot(g, 0)
+	if !tr.IsTreeEdge(0, 1) || !tr.IsTreeEdge(1, 0) {
+		t.Fatal("path edge not recognized as tree edge")
+	}
+	if tr.IsTreeEdge(0, 2) {
+		t.Fatal("non-edge claimed as tree edge")
+	}
+}
+
+func TestTreeEdgeCountEqualsReachedMinusRoots(t *testing.T) {
+	g := randomGraph(1000, 3000, 5)
+	tr := Forest(g)
+	treeEdges := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if tr.Parent[v] >= 0 {
+			treeEdges++
+		}
+	}
+	if treeEdges != g.NumVertices()-len(tr.Roots) {
+		t.Fatalf("tree edges %d, want n-roots = %d", treeEdges, g.NumVertices()-len(tr.Roots))
+	}
+}
+
+func TestLargeParallelBFS(t *testing.T) {
+	// Wide shallow graph: star of stars, exercises big frontiers.
+	b := graph.NewBuilder(1 + 100 + 100*1000)
+	next := int32(101)
+	for h := int32(1); h <= 100; h++ {
+		b.AddEdge(0, h)
+		for l := 0; l < 1000; l++ {
+			b.AddEdge(h, next)
+			next++
+		}
+	}
+	g := b.Build()
+	tr := FromRoot(g, 0)
+	checkTree(t, g, tr)
+	if tr.Depth != 3 {
+		t.Fatalf("Depth = %d, want 3", tr.Depth)
+	}
+}

@@ -1,0 +1,62 @@
+package bfs
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHybridLevelsMatchPlainBFS(t *testing.T) {
+	cases := []*graph.Graph{
+		pathGraph(200),
+		gridGraph(40, 40),
+		randomGraph(2000, 12000, 1), // dense enough to trigger bottom-up
+		randomGraph(500, 400, 2),    // disconnected
+	}
+	for ci, g := range cases {
+		plain := Forest(g)
+		hybrid := ForestHybrid(g)
+		checkTree(t, g, hybrid)
+		for v := 0; v < g.NumVertices(); v++ {
+			if plain.Level[v] != hybrid.Level[v] {
+				t.Fatalf("case %d: level[%d] = %d (hybrid) vs %d (plain)",
+					ci, v, hybrid.Level[v], plain.Level[v])
+			}
+		}
+		if plain.Depth != hybrid.Depth {
+			t.Fatalf("case %d: depth %d vs %d", ci, hybrid.Depth, plain.Depth)
+		}
+	}
+}
+
+func TestFromRootHybridSingleSource(t *testing.T) {
+	g := gridGraph(30, 30)
+	tr := FromRootHybrid(g, 0)
+	checkTree(t, g, tr)
+	want := sequentialLevels(g, 0)
+	for v := range want {
+		if tr.Level[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, tr.Level[v], want[v])
+		}
+	}
+}
+
+func TestHybridBottomUpActuallyTriggers(t *testing.T) {
+	// A star triggers the bottom-up branch at level 1: the frontier after
+	// visiting the center's neighbors... actually the *first* expansion is
+	// top-down from one root; make a graph whose level-1 frontier exceeds
+	// n/16: a complete bipartite-ish blob.
+	b := graph.NewBuilder(200)
+	for i := 1; i < 200; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	for i := 1; i < 100; i++ {
+		b.AddEdge(int32(i), int32(i+100))
+	}
+	g := b.Build()
+	tr := FromRootHybrid(g, 0)
+	checkTree(t, g, tr)
+	if tr.Depth != 2 {
+		t.Fatalf("depth = %d", tr.Depth)
+	}
+}

@@ -1,0 +1,115 @@
+// Package bsp provides a bulk-synchronous virtual manycore machine that
+// stands in for the paper's NVidia K40c GPU (this reproduction has no CUDA
+// path; see DESIGN.md §2).
+//
+// A Machine executes kernels: a kernel launch runs one logical thread per
+// data element with an implicit global barrier at the end, exactly the
+// structure of the paper's GPU codes (LMAX matching, edge-based coloring,
+// Luby MIS). Kernels execute on goroutines, so wall-clock speed is the
+// host's, but the machine additionally accounts a simulated time that
+// charges a fixed per-launch overhead — the dominant constant of real GPU
+// execution for these iterative label/flag algorithms. Iteration-heavy
+// algorithms therefore pay proportionally on the simulated clock just as
+// they do on a real device, preserving the paper's relative comparisons
+// (e.g. "Algorithm EB finishes faster than the time taken for the
+// decomposition" on small instances).
+package bsp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/par"
+)
+
+// DefaultLaunchOverhead is the simulated fixed cost per kernel launch.
+// Real kernel launch + sync latency on a K40c-generation device is in the
+// 5–20µs range; we use 10µs.
+const DefaultLaunchOverhead = 10 * time.Microsecond
+
+// Machine is a virtual bulk-synchronous manycore processor. The zero value
+// is not usable; create with New. A Machine may be reused across
+// algorithms; ResetStats clears its counters between experiments.
+type Machine struct {
+	launchOverhead time.Duration
+	workers        int
+
+	launches    atomic.Int64
+	threadsRun  atomic.Int64
+	kernelTime  atomic.Int64 // wall nanoseconds inside kernels
+	simOverhead atomic.Int64 // accumulated simulated overhead nanoseconds
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithLaunchOverhead sets the simulated per-launch overhead.
+func WithLaunchOverhead(d time.Duration) Option {
+	return func(m *Machine) { m.launchOverhead = d }
+}
+
+// WithWorkers pins the number of host goroutines used to execute kernels.
+// Zero (the default) uses the par package's worker count.
+func WithWorkers(n int) Option {
+	return func(m *Machine) { m.workers = n }
+}
+
+// New returns a Machine with the given options.
+func New(opts ...Option) *Machine {
+	m := &Machine{launchOverhead: DefaultLaunchOverhead}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Launch runs kernel(tid) for every tid in [0, n) — one logical thread per
+// element — and returns after all logical threads finish (the global
+// barrier). Kernels must communicate only through memory writes that are
+// safe under concurrent execution (atomics or disjoint indices), as on a
+// real device.
+func (m *Machine) Launch(n int, kernel func(tid int)) {
+	start := time.Now()
+	w := m.workers
+	if w <= 0 {
+		w = par.Workers()
+	}
+	par.ForN(n, w, kernel)
+	m.launches.Add(1)
+	m.threadsRun.Add(int64(n))
+	m.kernelTime.Add(int64(time.Since(start)))
+	m.simOverhead.Add(int64(m.launchOverhead))
+}
+
+// Stats is a snapshot of a Machine's execution counters.
+type Stats struct {
+	// Launches is the number of kernel launches (≈ number of
+	// bulk-synchronous steps executed).
+	Launches int64
+	// ThreadsRun is the total number of logical threads across launches.
+	ThreadsRun int64
+	// KernelTime is host wall-clock time spent inside kernels.
+	KernelTime time.Duration
+	// SimTime is the simulated device time: kernel time plus the
+	// per-launch overhead. Harness GPU timings report SimTime.
+	SimTime time.Duration
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Machine) Stats() Stats {
+	kt := time.Duration(m.kernelTime.Load())
+	return Stats{
+		Launches:   m.launches.Load(),
+		ThreadsRun: m.threadsRun.Load(),
+		KernelTime: kt,
+		SimTime:    kt + time.Duration(m.simOverhead.Load()),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (m *Machine) ResetStats() {
+	m.launches.Store(0)
+	m.threadsRun.Store(0)
+	m.kernelTime.Store(0)
+	m.simOverhead.Store(0)
+}

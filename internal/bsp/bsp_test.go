@@ -1,0 +1,76 @@
+package bsp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLaunchRunsEveryThreadOnce(t *testing.T) {
+	m := New()
+	n := 100000
+	hits := make([]int32, n)
+	m.Launch(n, func(tid int) { atomic.AddInt32(&hits[tid], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("tid %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestLaunchBarrierOrdering(t *testing.T) {
+	// Writes from launch k must be visible to launch k+1 without atomics in
+	// the second kernel (the barrier is the synchronization point).
+	m := New()
+	n := 50000
+	a := make([]int64, n)
+	b := make([]int64, n)
+	m.Launch(n, func(tid int) { a[tid] = int64(tid) * 2 })
+	m.Launch(n, func(tid int) { b[tid] = a[tid] + 1 })
+	for i := range b {
+		if b[i] != int64(i)*2+1 {
+			t.Fatalf("b[%d] = %d", i, b[i])
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := New(WithLaunchOverhead(time.Millisecond))
+	m.Launch(10, func(tid int) {})
+	m.Launch(20, func(tid int) {})
+	s := m.Stats()
+	if s.Launches != 2 {
+		t.Fatalf("Launches = %d", s.Launches)
+	}
+	if s.ThreadsRun != 30 {
+		t.Fatalf("ThreadsRun = %d", s.ThreadsRun)
+	}
+	if s.SimTime < 2*time.Millisecond {
+		t.Fatalf("SimTime = %v, want ≥ 2ms of overhead", s.SimTime)
+	}
+	if s.SimTime < s.KernelTime {
+		t.Fatal("SimTime must include KernelTime")
+	}
+	m.ResetStats()
+	if s := m.Stats(); s.Launches != 0 || s.ThreadsRun != 0 || s.SimTime != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}
+
+func TestZeroLengthLaunchCounts(t *testing.T) {
+	m := New()
+	m.Launch(0, func(tid int) { t.Error("kernel ran for n=0") })
+	if m.Stats().Launches != 1 {
+		t.Fatal("empty launch not counted")
+	}
+}
+
+func TestWithWorkers(t *testing.T) {
+	m := New(WithWorkers(1))
+	// With one worker, execution is sequential: no data race on a plain int.
+	count := 0
+	m.Launch(10000, func(tid int) { count++ })
+	if count != 10000 {
+		t.Fatalf("count = %d", count)
+	}
+}

@@ -1,0 +1,81 @@
+// Package cli holds the plumbing shared by the command-line tools: graph
+// loading (dataset instance by name, or a file in either supported format)
+// and flag-value parsing. It exists so the tools stay thin and this logic
+// is unit tested.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// LoadGraph resolves the tools' common graph selection: a -file path (edge
+// list, or METIS format for .graph/.metis) or a single positional dataset
+// instance name built at the given scale and seed.
+func LoadGraph(file string, args []string, scale float64, seed uint64) (*graph.Graph, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadAuto(file, f)
+	case len(args) == 1:
+		spec, ok := dataset.Get(args[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown instance %q (known: %v)", args[0], dataset.Names())
+		}
+		return dataset.Load(spec, scale, seed), nil
+	default:
+		return nil, fmt.Errorf("need exactly one instance name or -file")
+	}
+}
+
+// ParseProblem maps a flag value to a core.Problem.
+func ParseProblem(s string) (core.Problem, error) {
+	switch s {
+	case "mm":
+		return core.ProblemMM, nil
+	case "color":
+		return core.ProblemColor, nil
+	case "mis":
+		return core.ProblemMIS, nil
+	default:
+		return 0, fmt.Errorf("unknown problem %q (want mm, color, or mis)", s)
+	}
+}
+
+// ParseStrategy maps a flag value to a core.Strategy.
+func ParseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "auto":
+		return core.StrategyAuto, nil
+	case "baseline":
+		return core.StrategyBaseline, nil
+	case "bridge":
+		return core.StrategyBridge, nil
+	case "rand":
+		return core.StrategyRand, nil
+	case "degk":
+		return core.StrategyDegk, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want auto, baseline, bridge, rand, or degk)", s)
+	}
+}
+
+// ParseArch maps a flag value to a core.Arch.
+func ParseArch(s string) (core.Arch, error) {
+	switch s {
+	case "cpu":
+		return core.ArchCPU, nil
+	case "gpu":
+		return core.ArchGPU, nil
+	default:
+		return 0, fmt.Errorf("unknown arch %q (want cpu or gpu)", s)
+	}
+}

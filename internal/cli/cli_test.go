@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLoadGraphFromDataset(t *testing.T) {
+	g, err := LoadGraph("", []string{"lp1"}, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestLoadGraphUnknownInstance(t *testing.T) {
+	if _, err := LoadGraph("", []string{"nope"}, 1, 1); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+	if _, err := LoadGraph("", nil, 1, 1); err == nil {
+		t.Fatal("missing selection accepted")
+	}
+	if _, err := LoadGraph("", []string{"a", "b"}, 1, 1); err == nil {
+		t.Fatal("two positionals accepted")
+	}
+}
+
+func TestLoadGraphFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(edge, []byte("3 2\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(edge, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edge list m=%d", g.NumEdges())
+	}
+	metis := filepath.Join(dir, "g.graph")
+	if err := os.WriteFile(metis, []byte("3 2\n2\n1 3\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = LoadGraph(metis, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("metis m=%d", g.NumEdges())
+	}
+	if _, err := LoadGraph(filepath.Join(dir, "missing.txt"), nil, 1, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if p, err := ParseProblem("color"); err != nil || p != core.ProblemColor {
+		t.Fatal("ParseProblem")
+	}
+	if _, err := ParseProblem("x"); err == nil {
+		t.Fatal("bad problem accepted")
+	}
+	if s, err := ParseStrategy("degk"); err != nil || s != core.StrategyDegk {
+		t.Fatal("ParseStrategy")
+	}
+	if _, err := ParseStrategy("x"); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	if a, err := ParseArch("gpu"); err != nil || a != core.ArchGPU {
+		t.Fatal("ParseArch")
+	}
+	if _, err := ParseArch("x"); err == nil {
+		t.Fatal("bad arch accepted")
+	}
+}
+
+func TestParsersAllValues(t *testing.T) {
+	problems := map[string]core.Problem{"mm": core.ProblemMM, "color": core.ProblemColor, "mis": core.ProblemMIS}
+	for in, want := range problems {
+		if p, err := ParseProblem(in); err != nil || p != want {
+			t.Fatalf("ParseProblem(%q) = %v, %v", in, p, err)
+		}
+	}
+	strategies := map[string]core.Strategy{
+		"auto": core.StrategyAuto, "baseline": core.StrategyBaseline,
+		"bridge": core.StrategyBridge, "rand": core.StrategyRand, "degk": core.StrategyDegk,
+	}
+	for in, want := range strategies {
+		if s, err := ParseStrategy(in); err != nil || s != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", in, s, err)
+		}
+	}
+	for in, want := range map[string]core.Arch{"cpu": core.ArchCPU, "gpu": core.ArchGPU} {
+		if a, err := ParseArch(in); err != nil || a != want {
+			t.Fatalf("ParseArch(%q) = %v, %v", in, a, err)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package core is the library's front door: it ties the decompositions
+// (internal/decomp) and the three symmetry-breaking problem solvers
+// (internal/matching, internal/coloring, internal/mis) into one Solve call,
+// with the paper's Table I built in as the automatic strategy choice per
+// problem and architecture.
+//
+// A minimal use:
+//
+//	res, err := core.Solve(g, core.ProblemMIS, core.Options{})
+//	// res.IndepSet is a verified-shape maximal independent set; res.Report
+//	// carries decomposition/solve timings and round counts.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mis"
+)
+
+// Problem selects which symmetry-breaking problem to solve.
+type Problem int
+
+const (
+	// ProblemMM is Maximal Matching (paper Section III).
+	ProblemMM Problem = iota
+	// ProblemColor is Vertex Coloring (paper Section IV).
+	ProblemColor
+	// ProblemMIS is Maximal Independent Set (paper Section V).
+	ProblemMIS
+)
+
+// String returns the paper's name for the problem.
+func (p Problem) String() string {
+	switch p {
+	case ProblemMM:
+		return "MM"
+	case ProblemColor:
+		return "COLOR"
+	case ProblemMIS:
+		return "MIS"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Strategy selects the decomposition wrapped around the base algorithm.
+type Strategy int
+
+const (
+	// StrategyAuto picks the paper's Table I winner for the problem and
+	// architecture.
+	StrategyAuto Strategy = iota
+	// StrategyBaseline runs the base algorithm with no decomposition
+	// (GM/VB/LubyMIS on the CPU; LMAX/EB/LubyMIS on the GPU).
+	StrategyBaseline
+	// StrategyBridge uses the BRIDGE decomposition (Algorithms 4, 7, 10).
+	StrategyBridge
+	// StrategyRand uses the RAND decomposition (Algorithms 5, 8, 11).
+	StrategyRand
+	// StrategyDegk uses the DEGk decomposition (Algorithms 6, 9, 12).
+	StrategyDegk
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "AUTO"
+	case StrategyBaseline:
+		return "BASELINE"
+	case StrategyBridge:
+		return "BRIDGE"
+	case StrategyRand:
+		return "RAND"
+	case StrategyDegk:
+		return "DEGk"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Arch selects the execution substrate.
+type Arch int
+
+const (
+	// ArchCPU runs the multicore algorithms on goroutines.
+	ArchCPU Arch = iota
+	// ArchGPU runs the manycore algorithms on the bsp virtual device
+	// (this reproduction's stand-in for the paper's K40c; see DESIGN.md).
+	ArchGPU
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	if a == ArchGPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// Options configures Solve. The zero value solves on the CPU with the
+// paper's Table I strategy and default parameters.
+type Options struct {
+	// Strategy is the decomposition to use; StrategyAuto applies Table I.
+	Strategy Strategy
+	// Arch is the execution substrate.
+	Arch Arch
+	// RandParts is the RAND partition count k; 0 uses the paper's default
+	// (10 on CPU, 4 on GPU).
+	RandParts int
+	// DegK is the DEGk threshold; 0 uses the paper's k = 2.
+	DegK int
+	// Seed drives every randomized component; runs are deterministic
+	// under (Seed, options).
+	Seed uint64
+	// Machine is the virtual GPU to run on when Arch == ArchGPU; nil
+	// creates a fresh one.
+	Machine *bsp.Machine
+}
+
+// withDefaults fills in the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.RandParts == 0 {
+		if o.Arch == ArchGPU {
+			o.RandParts = 4
+		} else {
+			o.RandParts = 10
+		}
+	}
+	if o.DegK == 0 {
+		o.DegK = 2
+	}
+	if o.Arch == ArchGPU && o.Machine == nil {
+		o.Machine = bsp.New()
+	}
+	return o
+}
+
+// TableIStrategy returns the paper's best decomposition (Table I) for the
+// given problem and architecture: MM→RAND on both; COLOR→DEGk on the CPU
+// and no decomposition on the GPU (the paper reports 1× there); MIS→DEGk
+// on both.
+func TableIStrategy(p Problem, a Arch) Strategy {
+	switch p {
+	case ProblemMM:
+		return StrategyRand
+	case ProblemColor:
+		if a == ArchGPU {
+			return StrategyBaseline
+		}
+		return StrategyDegk
+	case ProblemMIS:
+		return StrategyDegk
+	default:
+		return StrategyBaseline
+	}
+}
+
+// Report is the unified run report.
+type Report struct {
+	// Problem, Strategy and Arch echo the resolved configuration.
+	Problem  Problem
+	Strategy Strategy
+	Arch     Arch
+	// StrategyName is the concrete algorithm name ("MM-Rand", "VB", ...).
+	StrategyName string
+	// Decomp is the decomposition wall time (zero for baselines).
+	Decomp time.Duration
+	// Solve is the solving wall time.
+	Solve time.Duration
+	// Rounds is the total inner iteration count.
+	Rounds int
+	// GPUStats snapshots the virtual machine counters consumed by this run
+	// (GPU runs only).
+	GPUStats bsp.Stats
+}
+
+// Total is the end-to-end wall time.
+func (r Report) Total() time.Duration { return r.Decomp + r.Solve }
+
+// Result bundles the solution of whichever problem was solved with its
+// report. Exactly one of Matching / Coloring / IndepSet is non-nil.
+type Result struct {
+	Matching *matching.Matching
+	Coloring *coloring.Coloring
+	IndepSet *mis.IndepSet
+	Report   Report
+}
+
+// Solve runs the selected problem on g under the options. It returns an
+// error only for invalid configurations; algorithmic failures are
+// impossible by construction (every path yields a verified-shape solution,
+// and Verify re-checks it cheaply if desired).
+func Solve(g *graph.Graph, p Problem, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	strategy := opt.Strategy
+	if strategy == StrategyAuto {
+		strategy = TableIStrategy(p, opt.Arch)
+	}
+	if opt.RandParts < 1 {
+		return nil, fmt.Errorf("core: RandParts must be ≥ 1, got %d", opt.RandParts)
+	}
+	if opt.DegK < 0 {
+		return nil, fmt.Errorf("core: DegK must be ≥ 0, got %d", opt.DegK)
+	}
+
+	res := &Result{Report: Report{Problem: p, Strategy: strategy, Arch: opt.Arch}}
+	var before bsp.Stats
+	if opt.Arch == ArchGPU {
+		before = opt.Machine.Stats()
+	}
+
+	switch p {
+	case ProblemMM:
+		solveMM(g, strategy, opt, res)
+	case ProblemColor:
+		solveColor(g, strategy, opt, res)
+	case ProblemMIS:
+		solveMIS(g, strategy, opt, res)
+	default:
+		return nil, fmt.Errorf("core: unknown problem %d", p)
+	}
+
+	if opt.Arch == ArchGPU {
+		after := opt.Machine.Stats()
+		res.Report.GPUStats = bsp.Stats{
+			Launches:   after.Launches - before.Launches,
+			ThreadsRun: after.ThreadsRun - before.ThreadsRun,
+			KernelTime: after.KernelTime - before.KernelTime,
+			SimTime:    after.SimTime - before.SimTime,
+		}
+	}
+	return res, nil
+}
+
+func solveMM(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
+	var alg matching.Algorithm
+	if opt.Arch == ArchGPU {
+		alg = matching.LMAXSolver(opt.Machine, opt.Seed)
+	} else {
+		alg = matching.GMSolver()
+	}
+	switch strategy {
+	case StrategyBaseline:
+		start := time.Now()
+		m, st := alg(g)
+		res.Matching = m
+		res.Report.Solve = time.Since(start)
+		res.Report.Rounds = st.Rounds
+		if opt.Arch == ArchGPU {
+			res.Report.StrategyName = "LMAX"
+		} else {
+			res.Report.StrategyName = "GM"
+		}
+	case StrategyBridge:
+		m, rep := matching.MMBridge(g, alg)
+		res.Matching = m
+		fillMM(&res.Report, rep)
+	case StrategyRand:
+		m, rep := matching.MMRand(g, opt.RandParts, opt.Seed, alg)
+		res.Matching = m
+		fillMM(&res.Report, rep)
+	case StrategyDegk:
+		m, rep := matching.MMDegk(g, opt.DegK, alg)
+		res.Matching = m
+		fillMM(&res.Report, rep)
+	}
+}
+
+func fillMM(r *Report, rep matching.Report) {
+	r.StrategyName = rep.Strategy
+	r.Decomp = rep.Decomp
+	r.Solve = rep.Solve
+	r.Rounds = rep.Rounds
+}
+
+func solveColor(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
+	var eng coloring.Engine
+	if opt.Arch == ArchGPU {
+		eng = coloring.NewEB(opt.Machine)
+	} else {
+		eng = coloring.NewVB()
+	}
+	switch strategy {
+	case StrategyBaseline:
+		start := time.Now()
+		c, st := eng.Fresh(g)
+		res.Coloring = c
+		res.Report.Solve = time.Since(start)
+		res.Report.Rounds = st.Rounds
+		res.Report.StrategyName = eng.Name()
+	case StrategyBridge:
+		c, rep := coloring.ColorBridge(g, eng)
+		res.Coloring = c
+		fillColor(&res.Report, rep)
+	case StrategyRand:
+		c, rep := coloring.ColorRand(g, opt.RandParts, opt.Seed, eng)
+		res.Coloring = c
+		fillColor(&res.Report, rep)
+	case StrategyDegk:
+		c, rep := coloring.ColorDegk(g, opt.DegK, eng)
+		res.Coloring = c
+		fillColor(&res.Report, rep)
+	}
+}
+
+func fillColor(r *Report, rep coloring.Report) {
+	r.StrategyName = rep.Strategy
+	r.Decomp = rep.Decomp
+	r.Solve = rep.Solve
+	r.Rounds = rep.Rounds
+}
+
+func solveMIS(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
+	var alg mis.Solver
+	if opt.Arch == ArchGPU {
+		alg = mis.LubyGPUSolver(opt.Machine, opt.Seed)
+	} else {
+		alg = mis.LubySolver(opt.Seed)
+	}
+	switch strategy {
+	case StrategyBaseline:
+		start := time.Now()
+		var s *mis.IndepSet
+		var st mis.Stats
+		if opt.Arch == ArchGPU {
+			s, st = mis.LubyGPU(g, opt.Machine, opt.Seed)
+		} else {
+			s, st = mis.Luby(g, opt.Seed)
+		}
+		res.IndepSet = s
+		res.Report.Solve = time.Since(start)
+		res.Report.Rounds = st.Rounds
+		res.Report.StrategyName = "LubyMIS"
+	case StrategyBridge:
+		s, rep := mis.MISBridge(g, alg)
+		res.IndepSet = s
+		fillMIS(&res.Report, rep)
+	case StrategyRand:
+		s, rep := mis.MISRand(g, opt.RandParts, opt.Seed, alg)
+		res.IndepSet = s
+		fillMIS(&res.Report, rep)
+	case StrategyDegk:
+		kp := mis.KPSolver()
+		if opt.Arch == ArchGPU {
+			kp = mis.KPSolverOn(opt.Machine.Launch)
+		}
+		s, rep := mis.MISDeg2With(g, alg, kp)
+		res.IndepSet = s
+		fillMIS(&res.Report, rep)
+	}
+}
+
+func fillMIS(r *Report, rep mis.Report) {
+	r.StrategyName = rep.Strategy
+	r.Decomp = rep.Decomp
+	r.Solve = rep.Solve
+	r.Rounds = rep.Rounds
+}
+
+// Verify re-checks the solution in a Result against the graph it was
+// computed on: matching validity+maximality, proper complete coloring, or
+// MIS independence+maximality.
+func Verify(g *graph.Graph, res *Result) error {
+	switch {
+	case res.Matching != nil:
+		return matching.Verify(g, res.Matching)
+	case res.Coloring != nil:
+		return coloring.Verify(g, res.Coloring)
+	case res.IndepSet != nil:
+		return mis.Verify(g, res.IndepSet)
+	default:
+		return fmt.Errorf("core: result holds no solution")
+	}
+}

@@ -1,0 +1,102 @@
+// Package decomp implements the paper's three light-weight graph
+// decompositions (Section II): BRIDGE (Algorithm 1), RAND (Algorithm 2) and
+// DEGk (Algorithm 3), plus a label-propagation partitioner used only for
+// the METIS ablation (the paper's Remark 1 excludes real METIS because
+// partitioning alone costs more than the symmetry-breaking baselines).
+//
+// Every decomposition returns a Result: materialized subgraphs with
+// local→global vertex maps, the technique-specific extras (bridge list,
+// vertex labels), and the decomposition wall time — the quantity Figure 2
+// of the paper reports.
+package decomp
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Technique identifies a decomposition strategy.
+type Technique int
+
+const (
+	// TechBridge is the 2-edge-connected component decomposition.
+	TechBridge Technique = iota
+	// TechRand is the uniform random vertex partitioning.
+	TechRand
+	// TechDegk is the degree-threshold decomposition.
+	TechDegk
+	// TechLabelProp is the label-propagation (METIS stand-in) ablation.
+	TechLabelProp
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechBridge:
+		return "BRIDGE"
+	case TechRand:
+		return "RAND"
+	case TechDegk:
+		return "DEGk"
+	case TechLabelProp:
+		return "LABELPROP"
+	case TechMultilevel:
+		return "MULTILEVEL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Result is a materialized decomposition.
+//
+// The meaning of Parts and Cross depends on the technique:
+//
+//   - BRIDGE: Parts has one entry, G_c = G − B over all vertices (its
+//     connected components are the 2-edge-connected components; parallel
+//     solvers process them simultaneously for free). Cross is the
+//     edge-induced subgraph of the bridge set B, and Bridges lists B.
+//   - RAND: Parts are the k induced subgraphs G[V_1..V_k]; Cross is
+//     G_{k+1}, the edge-induced subgraph of the cross edges.
+//   - DEGk: Parts[0] = G_L (deg ≤ k), Parts[1] = G_H (deg > k); Cross is
+//     G_C.
+type Result struct {
+	Technique Technique
+	Parts     []*graph.Sub
+	Cross     *graph.Sub
+	// Label maps each vertex to its part index (BRIDGE: always 0 — the
+	// single G_c part; vertices keep their component structure inside it).
+	Label []int32
+	// Bridges is the bridge edge set (BRIDGE only), canonical orientation.
+	Bridges []graph.Edge
+	// Rounds is the number of parallel rounds the decomposition ran
+	// (BRIDGE: BFS depth; others: 1).
+	Rounds int
+	// Elapsed is the decomposition wall time, including subgraph
+	// materialization (what Figure 2 measures).
+	Elapsed time.Duration
+}
+
+// PartEdges reports the total number of edges across Parts.
+func (r *Result) PartEdges() int64 {
+	var m int64
+	for _, p := range r.Parts {
+		m += p.NumEdges()
+	}
+	return m
+}
+
+// CrossEdges reports the number of edges in Cross.
+func (r *Result) CrossEdges() int64 {
+	if r.Cross == nil {
+		return 0
+	}
+	return r.Cross.NumEdges()
+}
+
+// timed runs fn and returns its duration.
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

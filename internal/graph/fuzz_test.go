@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers. Under plain `go test` the seed corpus
+// runs as regression tests; `go test -fuzz=FuzzReadEdgeList ./internal/graph`
+// explores further. The invariant: parsers never panic, and any
+// successfully parsed graph is structurally valid and round-trips.
+
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"3 2\n0 1\n1 2\n",
+		"# comment\n\n1 0\n",
+		"2 1\n0 0\n",
+		"4 2\n0 3\n3 0\n",
+		"9999999999999 1\n0 1\n",
+		"3 2\n0 -1\n",
+		"a b\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph invalid: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, g); werr != nil {
+			t.Fatalf("write failed: %v", werr)
+		}
+		g2, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip parse failed: %v", rerr)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	seeds := []string{
+		"3 2\n2\n1 3\n2\n",
+		"% c\n1 0\n\n",
+		"2 1 011\n2\n1\n",
+		"2 1\n3\n1\n",
+		"0 0\n",
+		"4 4\n2 3\n1 3\n1 2 4\n3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph invalid: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteMETIS(&buf, g); werr != nil {
+			t.Fatalf("write failed: %v", werr)
+		}
+		g2, rerr := ReadMETIS(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip parse failed: %v", rerr)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

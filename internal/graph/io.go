@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The interchange format is a plain text edge list:
+//
+//	# comment lines start with '#'
+//	<numVertices> <numEdges>
+//	<u> <v>
+//	...
+//
+// one line per undirected edge, 0-based vertex ids. Duplicates and self
+// loops are tolerated on read (the builder drops them), matching the
+// paper's dataset cleanup.
+
+// Write serializes g in the edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the edge-list format into a Graph.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, text)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		c, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if b == nil {
+			// Header line.
+			if a < 0 || c < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header", line)
+			}
+			b = NewBuilder(int(a))
+			continue
+		}
+		b.AddEdge(int32(a), int32(c))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return b.Build(), nil
+}

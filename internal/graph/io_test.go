@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{paperGraph(), path(50), randomGraph(200, 800, 9)} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip n=%d m=%d, want n=%d m=%d",
+				g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(int32(v)), g2.Neighbors(int32(v))
+			if len(a) != len(b) {
+				t.Fatalf("degree mismatch at %d", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("adjacency mismatch at %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	in := "# a comment\n\n3 2\n0 1\n# another\n1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadToleratesDuplicatesAndLoops(t *testing.T) {
+	in := "3 4\n0 1\n1 0\n2 2\n1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2 after cleanup", g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"abc def\n",     // unparsable header
+		"3 1\n0\n",      // wrong field count
+		"3 1\n0 xyz\n",  // unparsable endpoint
+		"-3 1\n",        // negative header
+		"# only this\n", // comments only
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("Read(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS/Chaco adjacency format support — the interchange format the graph
+// partitioning community (and the paper's excluded PMETIS comparison) uses:
+//
+//	% comment lines start with '%'
+//	<numVertices> <numEdges> [fmt]
+//	<neighbors of vertex 1, 1-based, space separated>
+//	...
+//
+// Only the unweighted flavor (fmt absent or "0" / "00" / "000") is
+// supported; weighted headers are rejected with a descriptive error.
+
+// WriteMETIS serializes g in METIS adjacency format.
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	for u := int32(0); int(u) < n; u++ {
+		ns := g.Neighbors(u)
+		for i, v := range ns {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v) + 1)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses METIS adjacency format into a Graph.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	var n int
+	vertex := int32(0)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			// Header line.
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("graph: metis header %q", text)
+			}
+			var err error
+			n, err = strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: metis vertex count %q", fields[0])
+			}
+			if _, err := strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("graph: metis edge count %q", fields[1])
+			}
+			if len(fields) == 3 && strings.Trim(fields[2], "0") != "" {
+				return nil, fmt.Errorf("graph: weighted metis format %q not supported", fields[2])
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if int(vertex) >= n {
+			if text == "" {
+				continue
+			}
+			return nil, fmt.Errorf("graph: metis has more than %d adjacency lines", n)
+		}
+		for _, f := range fields {
+			w, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("graph: metis neighbor %q on line for vertex %d", f, vertex+1)
+			}
+			if w < 1 || w > n {
+				return nil, fmt.Errorf("graph: metis neighbor %d out of range [1,%d]", w, n)
+			}
+			b.AddEdge(vertex, int32(w-1))
+		}
+		vertex++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty metis input")
+	}
+	if int(vertex) != n {
+		return nil, fmt.Errorf("graph: metis has %d adjacency lines, header says %d", vertex, n)
+	}
+	return b.Build(), nil
+}
+
+// ReadAuto parses either supported format, selecting by the filename
+// extension: ".graph" and ".metis" use METIS adjacency format, everything
+// else the edge-list format.
+func ReadAuto(name string, r io.Reader) (*Graph, error) {
+	if strings.HasSuffix(name, ".graph") || strings.HasSuffix(name, ".metis") {
+		return ReadMETIS(r)
+	}
+	return Read(r)
+}

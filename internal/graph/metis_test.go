@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{paperGraph(), path(20), randomGraph(150, 500, 4), NewBuilder(3).Build()} {
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip n=%d m=%d, want n=%d m=%d",
+				g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(int32(v)), g2.Neighbors(int32(v))
+			if len(a) != len(b) {
+				t.Fatalf("degree mismatch at %d", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("adjacency mismatch at %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestReadMETISKnown(t *testing.T) {
+	// The triangle plus pendant from the METIS manual style.
+	in := "% a comment\n4 4\n2 3\n1 3\n1 2 4\n3\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(1, 2) || !g.HasEdge(2, 3) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"abc 3\n",           // bad header
+		"2 1 011\n2\n1\n",   // weighted format
+		"2 1\n2\n1\n3\n",    // too many lines... (line 3 nonempty)
+		"3 1\n2\n1\n",       // too few lines
+		"2 1\n5\n\n",        // neighbor out of range
+		"2 1\nx\n\n",        // unparsable neighbor
+		"2 1 0 0 0\n1\n2\n", // header too long
+	}
+	for _, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadMETIS(%q) succeeded, want error", in)
+		}
+	}
+	// Trailing blank lines after all vertices are tolerated.
+	if _, err := ReadMETIS(strings.NewReader("2 1\n2\n1\n\n\n")); err != nil {
+		t.Fatalf("trailing blanks rejected: %v", err)
+	}
+}
+
+func TestReadAutoDispatch(t *testing.T) {
+	metis := "2 1\n2\n1\n"
+	if g, err := ReadAuto("foo.graph", strings.NewReader(metis)); err != nil || g.NumEdges() != 1 {
+		t.Fatalf("metis dispatch failed: %v", err)
+	}
+	edge := "2 1\n0 1\n"
+	if g, err := ReadAuto("foo.txt", strings.NewReader(edge)); err != nil || g.NumEdges() != 1 {
+		t.Fatalf("edge-list dispatch failed: %v", err)
+	}
+}

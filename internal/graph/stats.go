@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Stats holds the structural statistics the paper reports per dataset in
+// Table II, plus a few extras used by the harness.
+type Stats struct {
+	Vertices    int
+	Edges       int64
+	PctDeg2     float64 // % of vertices with degree ≤ 2 (Table II "% DEG2")
+	PctBridges  float64 // % of edges that are bridges (Table II "%BRIDGES")
+	AvgDegree   float64
+	MaxDegree   int32
+	Components  int
+	IsolatedVtx int64 // degree-0 vertices
+}
+
+// ComputeStats computes all statistics. Bridge counting runs the sequential
+// oracle (see Bridges) and is the slow part; pass wantBridges=false to skip
+// it for very large graphs.
+func ComputeStats(g *Graph, wantBridges bool) Stats {
+	n := g.NumVertices()
+	s := Stats{
+		Vertices:  n,
+		Edges:     g.NumEdges(),
+		AvgDegree: g.AvgDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+	if n == 0 {
+		return s
+	}
+	deg2 := par.Count(n, func(i int) bool { return g.Degree(int32(i)) <= 2 })
+	s.PctDeg2 = 100 * float64(deg2) / float64(n)
+	s.IsolatedVtx = par.Count(n, func(i int) bool { return g.Degree(int32(i)) == 0 })
+	_, s.Components = ConnectedComponents(g)
+	if wantBridges && s.Edges > 0 {
+		s.PctBridges = 100 * float64(len(Bridges(g))) / float64(s.Edges)
+	}
+	return s
+}
+
+// String renders the stats as a Table II style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d %%DEG2=%.1f %%BRIDGES=%.1f avgdeg=%.1f maxdeg=%d comps=%d",
+		s.Vertices, s.Edges, s.PctDeg2, s.PctBridges, s.AvgDegree, s.MaxDegree, s.Components)
+}
+
+// Bridges returns every bridge edge of g (canonical orientation U < V),
+// computed with an iterative sequential DFS lowpoint algorithm. This is the
+// trusted oracle used for Table II statistics and for validating the
+// parallel BRIDGE decomposition.
+func Bridges(g *Graph) []Edge {
+	n := g.NumVertices()
+	disc := make([]int32, n) // discovery time, 0 = unvisited
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	var bridges []Edge
+	var timer int32
+
+	// Iterative DFS with an explicit stack of (vertex, neighbor index).
+	type frame struct {
+		v  int32
+		ni int
+	}
+	stack := make([]frame, 0, 64)
+	for root := int32(0); int(root) < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		timer++
+		disc[root], low[root] = timer, timer
+		parent[root] = -1
+		stack = append(stack, frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			ns := g.Neighbors(v)
+			if f.ni < len(ns) {
+				w := ns[f.ni]
+				f.ni++
+				if disc[w] == 0 {
+					timer++
+					disc[w], low[w] = timer, timer
+					parent[w] = v
+					stack = append(stack, frame{w, 0})
+				} else if w != parent[v] {
+					// Back edge (the graph is simple, so the single
+					// occurrence of the parent is the tree edge).
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Post-visit: propagate lowpoint, detect bridge.
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p >= 0 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] > disc[p] {
+					bridges = append(bridges, Edge{p, v}.Canon())
+				}
+			}
+		}
+	}
+	return bridges
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBridgesOracleKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want []Edge
+	}{
+		{"path5", path(5), []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{"cycle5", cycle(5), nil},
+		{"complete5", complete(5), nil},
+		{"star5", star(5), []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}}},
+		{"paper", paperGraph(), []Edge{{2, 3}, {6, 7}}},
+		{"single", path(1), nil},
+	}
+	for _, c := range cases {
+		got := Bridges(c.g)
+		gotSet := map[Edge]bool{}
+		for _, e := range got {
+			gotSet[e] = true
+		}
+		if len(got) != len(gotSet) {
+			t.Fatalf("%s: duplicate bridges reported", c.name)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: %d bridges %v, want %d %v", c.name, len(got), got, len(c.want), c.want)
+		}
+		for _, e := range c.want {
+			if !gotSet[e] {
+				t.Fatalf("%s: missing bridge %v (got %v)", c.name, e, got)
+			}
+		}
+	}
+}
+
+// bruteForceBridges removes each edge and checks whether its endpoints
+// disconnect. O(m * (n+m)) — only for tiny graphs.
+func bruteForceBridges(g *Graph) map[Edge]bool {
+	out := map[Edge]bool{}
+	for _, e := range g.Edges() {
+		// BFS from e.U avoiding e.
+		n := g.NumVertices()
+		seen := make([]bool, n)
+		seen[e.U] = true
+		queue := []int32{e.U}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if v == e.U && w == e.V || v == e.V && w == e.U {
+					continue
+				}
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if !seen[e.V] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func TestBridgesOracleVsBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := randomGraph(40, 60, seed+100)
+		want := bruteForceBridges(g)
+		got := Bridges(g)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d bridges, brute force says %d", seed, len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e] {
+				t.Fatalf("seed %d: %v reported but not a bridge", seed, e)
+			}
+		}
+	}
+}
+
+func TestBridgesDisconnectedGraph(t *testing.T) {
+	// Two components: a path (all bridges) and a cycle (none).
+	b := NewBuilder(8)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2) // path 0-1-2
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 3) // cycle 3-4-5-6
+	g := b.Build()
+	got := Bridges(g)
+	if len(got) != 2 {
+		t.Fatalf("got %d bridges %v, want 2", len(got), got)
+	}
+}
+
+func TestComputeStatsPaperGraph(t *testing.T) {
+	g := paperGraph()
+	s := ComputeStats(g, true)
+	if s.Vertices != 8 || s.Edges != 9 {
+		t.Fatalf("n=%d m=%d", s.Vertices, s.Edges)
+	}
+	// Degrees: 2,2,3,3,2,2,3,1 → deg≤2 count = 5.
+	if want := 100 * 5.0 / 8.0; s.PctDeg2 < want-1e-9 || s.PctDeg2 > want+1e-9 {
+		t.Fatalf("PctDeg2 = %v, want %v", s.PctDeg2, want)
+	}
+	// 2 bridges of 9 edges.
+	if want := 100 * 2.0 / 9.0; s.PctBridges < want-1e-9 || s.PctBridges > want+1e-9 {
+		t.Fatalf("PctBridges = %v, want %v", s.PctBridges, want)
+	}
+	if s.Components != 1 || s.MaxDegree != 3 || s.IsolatedVtx != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "|V|=8") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestComputeStatsSkipBridges(t *testing.T) {
+	s := ComputeStats(path(10), false)
+	if s.PctBridges != 0 {
+		t.Fatal("bridge stat computed despite wantBridges=false")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0).Build(), true)
+	if s.Vertices != 0 || s.Edges != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Sub is a materialized subgraph of a parent graph, with the local→global
+// vertex mapping needed to transfer solutions (matchings, colorings,
+// independent sets) computed on the subgraph back to the parent.
+type Sub struct {
+	// G is the subgraph itself, over local vertex ids [0, G.NumVertices()).
+	G *Graph
+	// ToGlobal maps local vertex ids to parent ids. It is strictly
+	// increasing, so local order preserves global order.
+	ToGlobal []int32
+}
+
+// NumVertices reports the subgraph's vertex count.
+func (s *Sub) NumVertices() int { return s.G.NumVertices() }
+
+// NumEdges reports the subgraph's edge count.
+func (s *Sub) NumEdges() int64 { return s.G.NumEdges() }
+
+// PartitionByLabel splits g according to a vertex labeling into k vertex-
+// induced subgraphs (one per label in [0, k)) plus the edge-induced
+// subgraph of all cross edges (edges whose endpoints carry different
+// labels). This single primitive realizes all three of the paper's
+// decompositions:
+//
+//   - RAND:   label = random partition id, k parts, cross = G_{k+1};
+//   - DEGk:   label = 0 (deg ≤ k) or 1 (deg > k), cross = G_C;
+//   - BRIDGE: label = 2-edge-connected component id, cross = the bridges.
+//
+// len(label) must equal g.NumVertices() and every label must lie in [0, k).
+func PartitionByLabel(g *Graph, label []int32, k int) (parts []*Sub, cross *Sub) {
+	n := g.NumVertices()
+	if len(label) != n {
+		panic(fmt.Sprintf("graph: PartitionByLabel label length %d, graph has %d vertices", len(label), n))
+	}
+
+	// Local id of v within its part = rank of v among same-labeled vertices.
+	// Computed with a per-chunk counting pass + prefix sums per label, so
+	// ids stay monotone in global order.
+	nc := par.NumChunks(n)
+	counts := make([][]int64, nc) // counts[chunk][lbl]
+	par.RangeIdx(n, func(w, lo, hi int) {
+		c := make([]int64, k)
+		for i := lo; i < hi; i++ {
+			l := label[i]
+			if l < 0 || int(l) >= k {
+				panic(fmt.Sprintf("graph: label %d out of range [0,%d)", l, k))
+			}
+			c[l]++
+		}
+		counts[w] = c
+	})
+	partSize := make([]int64, k)
+	for _, c := range counts {
+		for l := 0; l < k; l++ {
+			partSize[l] += c[l]
+		}
+	}
+	// chunkBase[w][l] = number of label-l vertices before chunk w.
+	chunkBase := make([][]int64, nc)
+	running := make([]int64, k)
+	for w := 0; w < nc; w++ {
+		base := make([]int64, k)
+		copy(base, running)
+		chunkBase[w] = base
+		for l := 0; l < k; l++ {
+			running[l] += counts[w][l]
+		}
+	}
+	localID := make([]int32, n)
+	par.RangeIdx(n, func(w, lo, hi int) {
+		next := make([]int64, k)
+		copy(next, chunkBase[w])
+		for i := lo; i < hi; i++ {
+			l := label[i]
+			localID[i] = int32(next[l])
+			next[l]++
+		}
+	})
+
+	// ToGlobal per part.
+	toGlobal := make([][]int32, k)
+	for l := 0; l < k; l++ {
+		toGlobal[l] = make([]int32, partSize[l])
+	}
+	par.For(n, func(i int) {
+		toGlobal[label[i]][localID[i]] = int32(i)
+	})
+
+	// Intra-part degrees and cross degrees.
+	intraDeg := make([]int32, n)
+	crossDeg := make([]int32, n)
+	par.For(n, func(i int) {
+		v := int32(i)
+		l := label[i]
+		var in, cr int32
+		for _, w := range g.Neighbors(v) {
+			if label[w] == l {
+				in++
+			} else {
+				cr++
+			}
+		}
+		intraDeg[i] = in
+		crossDeg[i] = cr
+	})
+
+	// Build each part's CSR. Offsets come from gathering intra degrees in
+	// local order.
+	parts = make([]*Sub, k)
+	for l := 0; l < k; l++ {
+		m := int(partSize[l])
+		deg := make([]int32, m)
+		tg := toGlobal[l]
+		par.For(m, func(j int) { deg[j] = intraDeg[tg[j]] })
+		off := par.ExclusiveSum32(deg)
+		adj := make([]int32, off[m])
+		par.For(m, func(j int) {
+			v := tg[j]
+			p := off[j]
+			for _, w := range g.Neighbors(v) {
+				if label[w] == int32(l) {
+					adj[p] = localID[w] // monotone in w, so list stays sorted
+					p++
+				}
+			}
+		})
+		parts[l] = &Sub{G: &Graph{off: off, adj: adj}, ToGlobal: tg}
+	}
+
+	cross = buildEdgeInduced(g, crossDeg, func(v, w int32) bool {
+		return label[v] != label[w]
+	})
+	return parts, cross
+}
+
+// EdgeInducedSubgraph materializes the subgraph containing exactly the edges
+// {u, v} of g for which keep(u, v) is true; its vertex set is the endpoints
+// of those edges. keep must be symmetric and safe for concurrent calls.
+func EdgeInducedSubgraph(g *Graph, keep func(u, v int32) bool) *Sub {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	par.For(n, func(i int) {
+		v := int32(i)
+		var d int32
+		for _, w := range g.Neighbors(v) {
+			if keep(v, w) {
+				d++
+			}
+		}
+		deg[i] = d
+	})
+	return buildEdgeInduced(g, deg, keep)
+}
+
+// buildEdgeInduced builds the edge-induced Sub from precomputed kept-edge
+// degrees and the predicate.
+func buildEdgeInduced(g *Graph, keptDeg []int32, keep func(v, w int32) bool) *Sub {
+	n := g.NumVertices()
+	inSub := make([]int64, n)
+	par.For(n, func(i int) {
+		if keptDeg[i] > 0 {
+			inSub[i] = 1
+		}
+	})
+	rank := par.ExclusiveSum(inSub)
+	m := int(rank[n])
+	tg := make([]int32, m)
+	localID := make([]int32, n)
+	par.For(n, func(i int) {
+		if inSub[i] == 1 {
+			localID[i] = int32(rank[i])
+			tg[rank[i]] = int32(i)
+		}
+	})
+	deg := make([]int32, m)
+	par.For(m, func(j int) { deg[j] = keptDeg[tg[j]] })
+	off := par.ExclusiveSum32(deg)
+	adj := make([]int32, off[m])
+	par.For(m, func(j int) {
+		v := tg[j]
+		p := off[j]
+		for _, w := range g.Neighbors(v) {
+			if keep(v, w) {
+				adj[p] = localID[w]
+				p++
+			}
+		}
+	})
+	return &Sub{G: &Graph{off: off, adj: adj}, ToGlobal: tg}
+}
+
+// RemoveEdges returns a new graph over the same vertex set containing
+// exactly the edges {u, v} for which keep(u, v) is true. keep must be
+// symmetric and safe for concurrent calls. Used by the BRIDGE decomposition
+// to form G − B without renumbering vertices.
+func RemoveEdges(g *Graph, keep func(u, v int32) bool) *Graph {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	par.For(n, func(i int) {
+		v := int32(i)
+		var d int32
+		for _, w := range g.Neighbors(v) {
+			if keep(v, w) {
+				d++
+			}
+		}
+		deg[i] = d
+	})
+	off := par.ExclusiveSum32(deg)
+	adj := make([]int32, off[n])
+	par.For(n, func(i int) {
+		v := int32(i)
+		p := off[i]
+		for _, w := range g.Neighbors(v) {
+			if keep(v, w) {
+				adj[p] = w
+				p++
+			}
+		}
+	})
+	return &Graph{off: off, adj: adj}
+}
+
+// IdentitySub wraps g as a Sub whose local ids equal global ids.
+func IdentitySub(g *Graph) *Sub {
+	tg := make([]int32, g.NumVertices())
+	par.Iota(tg)
+	return &Sub{G: g, ToGlobal: tg}
+}
+
+// RelabelRandom returns an isomorphic copy of g with vertex ids permuted
+// pseudo-randomly under the seed. Several of the paper's effects (GM's
+// vain tendency, LMAX's id-weight chains) depend on vertex numbering
+// following the graph's structure; relabeling removes that correlation, so
+// the harness uses this to isolate ordering effects from structural ones.
+func RelabelRandom(g *Graph, seed uint64) *Graph {
+	n := g.NumVertices()
+	perm := make([]int32, n)
+	par.Iota(perm)
+	// Fisher–Yates with the deterministic sequential RNG (construction
+	// time, not a measured section).
+	rng := par.NewRNG(seed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	edges := g.Edges()
+	out := make([]Edge, len(edges))
+	par.For(len(edges), func(i int) {
+		out[i] = Edge{perm[edges[i].U], perm[edges[i].V]}.Canon()
+	})
+	return FromEdges(n, out)
+}
+
+// InducedSubgraph materializes the subgraph induced by the vertices for
+// which member is true. Vertices keep their relative order.
+func InducedSubgraph(g *Graph, member []bool) *Sub {
+	n := g.NumVertices()
+	if len(member) != n {
+		panic("graph: InducedSubgraph mask length mismatch")
+	}
+	label := make([]int32, n)
+	par.For(n, func(i int) {
+		if member[i] {
+			label[i] = 1
+		}
+	})
+	parts, _ := PartitionByLabel(g, label, 2)
+	return parts[1]
+}

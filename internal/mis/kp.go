@@ -1,0 +1,91 @@
+package mis
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// KPSolver returns the bounded-degree MIS solver used for the G_L part of
+// the DEG2 decomposition (degree ≤ 2: disjoint paths and cycles). It stands
+// in for the orientation-based algorithm of Kothapalli and Pindiproli [21]
+// that the paper plugs into MIS-Deg2: as in the paper, vertex numbers
+// induce the orientation — a fixed id-derived priority orients every edge
+// toward its higher-priority endpoint, and each round the sinks (local
+// priority minima among undecided neighbors) join the set.
+//
+// Because every active vertex has at most two undecided neighbors, a round
+// is a handful of comparisons with no per-round priority redraw and no
+// neighborhood hashing; on the paper's real-world graphs with many
+// degree ≤ 2 vertices this is the cheap special-purpose solver that "can
+// easily outperform algorithms for general graphs" (§V-C discussion).
+//
+// The masked run requires every active vertex to have at most two
+// *undecided* neighbors; KPDeg2 enforces the whole-graph degree bound for
+// standalone use.
+func KPSolver() Solver {
+	return KPSolverOn(par.For)
+}
+
+// KPSolverOn is KPSolver with an explicit executor, so GPU runs charge the
+// phase's sweeps to the virtual machine (pass machine.Launch).
+func KPSolverOn(exec func(n int, kernel func(i int))) Solver {
+	return func(g *graph.Graph, status []State, set *IndepSet, active []int32) Stats {
+		return kpRun(g, exec, status, set, active)
+	}
+}
+
+// KPDeg2 computes an MIS of a graph with maximum degree ≤ 2. It panics on
+// denser inputs — callers must hand it the G_L part only.
+func KPDeg2(g *graph.Graph) (*IndepSet, Stats) {
+	if d := g.MaxDegree(); d > 2 {
+		panic("mis: KPDeg2 requires maximum degree ≤ 2")
+	}
+	return freshRun(g, KPSolver())
+}
+
+// kpRun is the masked fixed-priority local-minima loop with active-list
+// compaction (the special-purpose solver's work tracks the shrinking
+// residual; compaction is host-side, as thrust would do it).
+func kpRun(g *graph.Graph, exec func(n int, kernel func(i int)),
+	status []State, set *IndepSet, active []int32) Stats {
+	var st Stats
+	// The orientation: id-scrambled priority, fixed for the whole run.
+	prio := func(v int32) uint64 { return par.Hash64(0x927d5f3a, int64(v)) }
+
+	for len(active) > 0 {
+		st.Rounds++
+		exec(len(active), func(i int) {
+			v := active[i]
+			pv := prio(v)
+			win := true
+			for _, w := range g.Neighbors(v) {
+				if status[w] != StateUndecided {
+					continue
+				}
+				pw := prio(w)
+				if pw < pv || (pw == pv && w < v) {
+					win = false
+					break
+				}
+			}
+			if win {
+				set.In[v] = true
+			}
+		})
+		exec(len(active), func(i int) {
+			v := active[i]
+			if set.In[v] {
+				status[v] = StateIn
+				return
+			}
+			for _, w := range g.Neighbors(v) {
+				if set.In[w] {
+					status[v] = StateOut
+					return
+				}
+			}
+		})
+		active = par.Filter(active, func(v int32) bool { return status[v] == StateUndecided })
+	}
+	return st
+}

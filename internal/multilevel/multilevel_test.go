@@ -1,0 +1,167 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// randomCut counts the cross edges of a uniform k-way hash labeling — the
+// RAND decomposition's cut, computed locally to avoid importing decomp
+// (which imports this package).
+func randomCut(g *graph.Graph, k int, seed uint64) int64 {
+	var cut int64
+	for _, e := range g.Edges() {
+		if par.HashRange(seed, int64(e.U), k) != par.HashRange(seed, int64(e.V), k) {
+			cut++
+		}
+	}
+	return cut
+}
+
+func gridGraph(r, c int) *graph.Graph {
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int32 { return int32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	r := par.NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func checkPartition(t *testing.T, g *graph.Graph, label []int32, k int, st Stats) {
+	t.Helper()
+	if len(label) != g.NumVertices() {
+		t.Fatal("label length")
+	}
+	for v, l := range label {
+		if l < 0 || int(l) >= k {
+			t.Fatalf("label[%d] = %d out of [0,%d)", v, l, k)
+		}
+	}
+	// Recount the cut independently.
+	var cut int64
+	for _, e := range g.Edges() {
+		if label[e.U] != label[e.V] {
+			cut++
+		}
+	}
+	if cut != st.CutEdges {
+		t.Fatalf("stats cut %d, recount %d", st.CutEdges, cut)
+	}
+}
+
+func TestPartitionGridBalancedAndLocal(t *testing.T) {
+	g := gridGraph(60, 60)
+	k := 4
+	label, st := Partition(g, k, 1, Options{})
+	checkPartition(t, g, label, k, st)
+	if st.Imbalance > 1.2 {
+		t.Fatalf("imbalance %.2f", st.Imbalance)
+	}
+	// A 4-way partition of a 60×60 grid has an ideal cut around 120; the
+	// multilevel heuristic should stay within a small factor, and far
+	// below a random partition's expected 3/4 of all edges.
+	if st.CutEdges > 800 {
+		t.Fatalf("cut %d too high for a grid", st.CutEdges)
+	}
+	if rnd := randomCut(g, k, 1); st.CutEdges*2 > rnd {
+		t.Fatalf("multilevel cut %d not clearly below random cut %d", st.CutEdges, rnd)
+	}
+}
+
+func TestPartitionDegenerateCases(t *testing.T) {
+	g := gridGraph(5, 5)
+	label, st := Partition(g, 1, 1, Options{})
+	for _, l := range label {
+		if l != 0 {
+			t.Fatal("k=1 must label everything 0")
+		}
+	}
+	if st.CutEdges != 0 {
+		t.Fatal("k=1 cut nonzero")
+	}
+	// k ≥ n: one vertex per part.
+	label, _ = Partition(g, 25, 1, Options{})
+	seen := map[int32]bool{}
+	for _, l := range label {
+		if seen[l] {
+			t.Fatal("k=n assigned two vertices to one part")
+		}
+		seen[l] = true
+	}
+	// Empty graph.
+	label, _ = Partition(graph.NewBuilder(0).Build(), 4, 1, Options{})
+	if len(label) != 0 {
+		t.Fatal("empty graph label")
+	}
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	// Two cliques, no edges between: perfect 2-way cut = 0.
+	b := graph.NewBuilder(40)
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			b.AddEdge(int32(i), int32(j))
+			b.AddEdge(int32(20+i), int32(20+j))
+		}
+	}
+	g := b.Build()
+	label, st := Partition(g, 2, 3, Options{})
+	checkPartition(t, g, label, 2, st)
+	if st.CutEdges != 0 {
+		t.Fatalf("disconnected cliques cut %d, want 0", st.CutEdges)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := randomGraph(800, 3200, 5)
+	a, _ := Partition(g, 6, 9, Options{})
+	b, _ := Partition(g, 6, 9, Options{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("labels differ at %d under same seed", i)
+		}
+	}
+}
+
+func TestPartitionBeatsRandomOnRealClasses(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.RGG(8000, gen.DegreeRadius(8000, 12), 2),
+		gen.Road(25, 25, 4, 0.3, 2),
+	} {
+		_, st := Partition(g, 8, 1, Options{})
+		if rnd := randomCut(g, 8, 1); st.CutEdges >= rnd/2 {
+			t.Fatalf("multilevel cut %d vs random %d: no locality win", st.CutEdges, rnd)
+		}
+		if st.Imbalance > 1.35 {
+			t.Fatalf("imbalance %.2f", st.Imbalance)
+		}
+	}
+}
+
+func TestPartitionPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Partition(gridGraph(3, 3), 0, 1, Options{})
+}

@@ -1,0 +1,335 @@
+// Package par provides the shared-memory parallel runtime used by every
+// algorithm in this repository: chunked parallel loops, parallel reductions,
+// parallel prefix sums, atomic helpers, a concurrent bitset, and a splittable
+// deterministic random number generator.
+//
+// The package plays the role of the paper's OpenMP-style 80-thread CPU
+// runtime. Parallel loops split the index space into contiguous chunks and
+// run one goroutine per chunk; the number of workers defaults to
+// runtime.GOMAXPROCS(0) and can be overridden globally with SetWorkers (for
+// scaling experiments) or per-call with the *N variants.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the worker count used by the loop primitives when no
+// explicit count is given. Zero means "use runtime.GOMAXPROCS(0)".
+var defaultWorkers int64
+
+// SetWorkers sets the default worker count for all loop primitives in this
+// package. n <= 0 restores the default of runtime.GOMAXPROCS(0).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&defaultWorkers, int64(n))
+}
+
+// Workers reports the worker count the loop primitives will use.
+func Workers() int {
+	if n := atomic.LoadInt64(&defaultWorkers); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minGrain is the smallest chunk worth spawning a goroutine for. Loops over
+// fewer elements run sequentially: goroutine startup would dominate.
+const minGrain = 1024
+
+// For runs fn(i) for every i in [0, n) in parallel.
+func For(n int, fn func(i int)) {
+	ForN(n, Workers(), fn)
+}
+
+// ForN is For with an explicit worker count.
+func ForN(n, workers int, fn func(i int)) {
+	RangeN(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Range splits [0, n) into contiguous chunks and runs fn(lo, hi) on each
+// chunk in parallel. It is the workhorse primitive: algorithms that keep
+// per-chunk scratch state use Range directly to amortize it.
+func Range(n int, fn func(lo, hi int)) {
+	RangeN(n, Workers(), fn)
+}
+
+// RangeN is Range with an explicit worker count.
+func RangeN(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < minGrain {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RangeIdx is Range but also hands each chunk its worker index in
+// [0, NumChunks(n)), so callers can index preallocated per-worker scratch.
+func RangeIdx(n int, fn func(worker, lo, hi int)) {
+	workers := Workers()
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < minGrain {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+}
+
+// NumChunks reports how many chunks RangeIdx will create for n elements
+// under the current worker setting. Callers size per-worker scratch with it.
+func NumChunks(n int) int {
+	workers := Workers()
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < minGrain {
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}
+
+// Reduce computes a parallel reduction of fn over [0, n) combining partial
+// results with combine, starting from identity. combine must be associative.
+func Reduce[T any](n int, identity T, fn func(i int) T, combine func(a, b T) T) T {
+	nc := NumChunks(n)
+	if nc == 0 {
+		return identity
+	}
+	parts := make([]T, nc)
+	RangeIdx(n, func(w, lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, fn(i))
+		}
+		parts[w] = acc
+	})
+	acc := identity
+	for _, p := range parts {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// Sum computes the parallel sum of fn(i) over [0, n).
+func Sum(n int, fn func(i int) int64) int64 {
+	return Reduce(n, 0, fn, func(a, b int64) int64 { return a + b })
+}
+
+// Count reports how many i in [0, n) satisfy pred.
+func Count(n int, pred func(i int) bool) int64 {
+	return Sum(n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// MaxIndexed returns the maximum of fn(i) over [0, n), or identity when
+// n == 0.
+func MaxIndexed[T int | int32 | int64 | float64](n int, identity T, fn func(i int) T) T {
+	return Reduce(n, identity, fn, func(a, b T) T {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// ExclusiveSum computes the exclusive prefix sum of src into a new slice of
+// length len(src)+1; the final element is the total. The scan is parallel:
+// per-chunk sums, a sequential pass over the (few) chunk totals, then a
+// parallel fill.
+func ExclusiveSum(src []int64) []int64 {
+	n := len(src)
+	out := make([]int64, n+1)
+	if n == 0 {
+		return out
+	}
+	nc := NumChunks(n)
+	if nc == 1 {
+		var acc int64
+		for i, v := range src {
+			out[i] = acc
+			acc += v
+		}
+		out[n] = acc
+		return out
+	}
+	sums := make([]int64, nc)
+	bounds := make([][2]int, nc)
+	RangeIdx(n, func(w, lo, hi int) {
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+		}
+		sums[w] = acc
+		bounds[w] = [2]int{lo, hi}
+	})
+	var total int64
+	for w := 0; w < nc; w++ {
+		s := sums[w]
+		sums[w] = total
+		total += s
+	}
+	RangeIdx(n, func(w, lo, hi int) {
+		acc := sums[w]
+		for i := lo; i < hi; i++ {
+			out[i] = acc
+			acc += src[i]
+		}
+	})
+	out[n] = total
+	return out
+}
+
+// ExclusiveSum32 is ExclusiveSum for int32 counts with int64 offsets, the
+// shape used when building CSR offsets from degree arrays.
+func ExclusiveSum32(src []int32) []int64 {
+	n := len(src)
+	tmp := make([]int64, n)
+	For(n, func(i int) { tmp[i] = int64(src[i]) })
+	return ExclusiveSum(tmp)
+}
+
+// Fill sets dst[i] = v for all i in parallel.
+func Fill[T any](dst []T, v T) {
+	Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// Iota sets dst[i] = int32(i) for all i in parallel.
+func Iota(dst []int32) {
+	Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = int32(i)
+		}
+	})
+}
+
+// Copy copies src into dst in parallel. The slices must have equal length.
+func Copy[T any](dst, src []T) {
+	if len(dst) != len(src) {
+		panic("par: Copy length mismatch")
+	}
+	Range(len(src), func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Filter returns the elements of src satisfying pred, preserving order.
+// pred runs in parallel and must be safe for concurrent calls. Used for
+// frontier/active-set compaction in the iterative solvers.
+func Filter[T any](src []T, pred func(T) bool) []T {
+	n := len(src)
+	nc := NumChunks(n)
+	if nc == 0 {
+		return nil
+	}
+	bufs := make([][]T, nc)
+	RangeIdx(n, func(w, lo, hi int) {
+		var out []T
+		for i := lo; i < hi; i++ {
+			if pred(src[i]) {
+				out = append(out, src[i])
+			}
+		}
+		bufs[w] = out
+	})
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// MinInt32Atomic atomically stores min(current, v) at addr.
+func MinInt32Atomic(addr *int32, v int32) {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if v >= cur || atomic.CompareAndSwapInt32(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// MaxInt32Atomic atomically stores max(current, v) at addr.
+func MaxInt32Atomic(addr *int32, v int32) {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if v <= cur || atomic.CompareAndSwapInt32(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// MinUint64Atomic atomically stores min(current, v) at addr.
+func MinUint64Atomic(addr *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(addr)
+		if v >= cur || atomic.CompareAndSwapUint64(addr, cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1023, 1024, 1025, 100000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForNHonorsSmallWorkerCounts(t *testing.T) {
+	n := 50000
+	for _, w := range []int{1, 2, 3, 7} {
+		var total int64
+		ForN(n, w, func(i int) { atomic.AddInt64(&total, int64(i)) })
+		want := int64(n) * int64(n-1) / 2
+		if total != want {
+			t.Fatalf("workers=%d: sum=%d want %d", w, total, want)
+		}
+	}
+}
+
+func TestRangeChunksCoverExactly(t *testing.T) {
+	for _, n := range []int{1, 1024, 5000, 99999} {
+		covered := make([]int32, n)
+		Range(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestRangeIdxWorkerIndicesDistinct(t *testing.T) {
+	n := 200000
+	nc := NumChunks(n)
+	seen := make([]int32, nc)
+	RangeIdx(n, func(w, lo, hi int) {
+		if w < 0 || w >= nc {
+			t.Errorf("worker index %d out of range [0,%d)", w, nc)
+			return
+		}
+		atomic.AddInt32(&seen[w], 1)
+	})
+	for w, s := range seen {
+		if s != 1 {
+			t.Fatalf("worker slot %d used %d times", w, s)
+		}
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() <= 0 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() <= 0 {
+		t.Fatalf("Workers() = %d after SetWorkers(-5)", Workers())
+	}
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	n := 123457
+	got := Reduce(n, 0, func(i int) int64 { return int64(i % 17) },
+		func(a, b int64) int64 { return a + b })
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i % 17)
+	}
+	if got != want {
+		t.Fatalf("Reduce = %d, want %d", got, want)
+	}
+}
+
+func TestSumAndCount(t *testing.T) {
+	n := 4096
+	if got := Sum(n, func(i int) int64 { return 2 }); got != int64(2*n) {
+		t.Fatalf("Sum = %d", got)
+	}
+	if got := Count(n, func(i int) bool { return i%4 == 0 }); got != int64(n/4) {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := Sum(0, func(i int) int64 { return 1 }); got != 0 {
+		t.Fatalf("Sum over empty range = %d", got)
+	}
+}
+
+func TestMaxIndexed(t *testing.T) {
+	vals := []int32{3, 9, 1, 9, 0}
+	got := MaxIndexed(len(vals), int32(-1), func(i int) int32 { return vals[i] })
+	if got != 9 {
+		t.Fatalf("MaxIndexed = %d", got)
+	}
+	if got := MaxIndexed(0, int32(-1), func(i int) int32 { return 0 }); got != -1 {
+		t.Fatalf("MaxIndexed empty = %d, want identity", got)
+	}
+}
+
+func TestExclusiveSumMatchesSequential(t *testing.T) {
+	check := func(src []int64) bool {
+		got := ExclusiveSum(src)
+		if len(got) != len(src)+1 {
+			return false
+		}
+		var acc int64
+		for i, v := range src {
+			if got[i] != acc {
+				return false
+			}
+			acc += v
+		}
+		return got[len(src)] == acc
+	}
+	// Edge cases.
+	for _, src := range [][]int64{nil, {}, {5}, {0, 0, 0}, {1, 2, 3, 4}} {
+		if !check(src) {
+			t.Fatalf("ExclusiveSum wrong for %v", src)
+		}
+	}
+	// Large parallel case.
+	big := make([]int64, 300000)
+	for i := range big {
+		big[i] = int64(i % 7)
+	}
+	if !check(big) {
+		t.Fatal("ExclusiveSum wrong for large input")
+	}
+	// Property test over random small inputs.
+	if err := quick.Check(func(raw []uint16) bool {
+		src := make([]int64, len(raw))
+		for i, v := range raw {
+			src[i] = int64(v)
+		}
+		return check(src)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveSum32(t *testing.T) {
+	src := []int32{2, 0, 5, 1}
+	got := ExclusiveSum32(src)
+	want := []int64{0, 2, 2, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExclusiveSum32 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFillIotaCopy(t *testing.T) {
+	n := 100000
+	a := make([]int32, n)
+	Fill(a, 7)
+	for i, v := range a {
+		if v != 7 {
+			t.Fatalf("Fill: a[%d]=%d", i, v)
+		}
+	}
+	Iota(a)
+	for i, v := range a {
+		if v != int32(i) {
+			t.Fatalf("Iota: a[%d]=%d", i, v)
+		}
+	}
+	b := make([]int32, n)
+	Copy(b, a)
+	for i := range b {
+		if b[i] != a[i] {
+			t.Fatalf("Copy mismatch at %d", i)
+		}
+	}
+}
+
+func TestCopyPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Copy(make([]int, 3), make([]int, 4))
+}
+
+func TestFilterPreservesOrder(t *testing.T) {
+	n := 200000
+	src := make([]int32, n)
+	Iota(src)
+	got := Filter(src, func(v int32) bool { return v%3 == 0 })
+	if len(got) != (n+2)/3 {
+		t.Fatalf("Filter kept %d elements", len(got))
+	}
+	for i, v := range got {
+		if v != int32(i*3) {
+			t.Fatalf("got[%d] = %d, order not preserved", i, v)
+		}
+	}
+	if out := Filter([]int32{}, func(int32) bool { return true }); len(out) != 0 {
+		t.Fatal("Filter of empty slice not empty")
+	}
+	if out := Filter(src, func(int32) bool { return false }); len(out) != 0 {
+		t.Fatal("Filter with false pred not empty")
+	}
+}
+
+func TestAtomicMinMax(t *testing.T) {
+	var v int32 = 100
+	For(10000, func(i int) { MinInt32Atomic(&v, int32(i%500)) })
+	if v != 0 {
+		t.Fatalf("MinInt32Atomic result %d", v)
+	}
+	v = -1
+	For(10000, func(i int) { MaxInt32Atomic(&v, int32(i%500)) })
+	if v != 499 {
+		t.Fatalf("MaxInt32Atomic result %d", v)
+	}
+	var u uint64 = 1 << 60
+	For(10000, func(i int) { MinUint64Atomic(&u, uint64(i+3)) })
+	if u != 3 {
+		t.Fatalf("MinUint64Atomic result %d", u)
+	}
+}
+
+func TestNumChunksBounds(t *testing.T) {
+	if NumChunks(0) != 0 {
+		t.Fatal("NumChunks(0) != 0")
+	}
+	if NumChunks(1) != 1 {
+		t.Fatal("NumChunks(1) != 1")
+	}
+	n := 1 << 20
+	nc := NumChunks(n)
+	if nc < 1 || nc > Workers() {
+		t.Fatalf("NumChunks(%d) = %d with %d workers", n, nc, Workers())
+	}
+}

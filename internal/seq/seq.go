@@ -1,0 +1,131 @@
+// Package seq provides sequential greedy reference implementations of the
+// three symmetry-breaking problems. They are the quality anchors for the
+// harness's quality experiment: greedy sequential coloring in smallest-
+// degree-last order is the strong palette baseline the parallel colorings
+// are judged against (§IV-D's color counts), and sequential greedy
+// MM/MIS give deterministic size references.
+package seq
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mis"
+)
+
+// Matching computes a maximal matching by one greedy pass over the edges
+// in canonical order.
+func Matching(g *graph.Graph) *matching.Matching {
+	m := matching.NewMatching(g.NumVertices())
+	for _, e := range g.Edges() {
+		if m.Mate[e.U] == matching.Unmatched && m.Mate[e.V] == matching.Unmatched {
+			m.Mate[e.U] = e.V
+			m.Mate[e.V] = e.U
+		}
+	}
+	return m
+}
+
+// MIS computes a maximal independent set by one greedy pass in vertex
+// order.
+func MIS(g *graph.Graph) *mis.IndepSet {
+	n := g.NumVertices()
+	set := mis.NewIndepSet(n)
+	blocked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if blocked[v] {
+			continue
+		}
+		set.In[v] = true
+		for _, w := range g.Neighbors(int32(v)) {
+			blocked[w] = true
+		}
+	}
+	return set
+}
+
+// Color computes a greedy coloring in smallest-degree-last order (the
+// degeneracy ordering), the classic sequential heuristic that uses at most
+// degeneracy+1 colors — typically the fewest of the simple methods.
+func Color(g *graph.Graph) *coloring.Coloring {
+	n := g.NumVertices()
+	order := degeneracyOrder(g)
+	c := coloring.NewColoring(n)
+	forbidden := make([]int32, n) // forbidden[color] == stamp means taken
+	stamp := int32(0)
+	for _, v := range order {
+		stamp++
+		maxSeen := int32(-1)
+		for _, w := range g.Neighbors(v) {
+			if cw := c.Color[w]; cw != coloring.Uncolored {
+				forbidden[cw] = stamp
+				if cw > maxSeen {
+					maxSeen = cw
+				}
+			}
+		}
+		pick := int32(0)
+		for pick <= maxSeen && forbidden[pick] == stamp {
+			pick++
+		}
+		c.Color[v] = pick
+	}
+	return c
+}
+
+// degeneracyOrder returns the smallest-degree-last ordering: repeatedly
+// remove a minimum-degree vertex; color in reverse removal order.
+func degeneracyOrder(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int(g.Degree(int32(v)))
+	}
+	// Bucket queue over degrees.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	removal := make([]int32, 0, n)
+	cur := 0
+	for len(removal) < n {
+		// A removal decrements neighbor degrees by one, so the minimum
+		// can drop at most one below the cursor; scan up over empty or
+		// stale buckets.
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break // only stale entries remained; all vertices handled
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		removal = append(removal, v)
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+			}
+		}
+		if cur > 0 {
+			cur--
+		}
+	}
+	// Color in reverse removal order.
+	for i, j := 0, len(removal)-1; i < j; i, j = i+1, j-1 {
+		removal[i], removal[j] = removal[j], removal[i]
+	}
+	return removal
+}

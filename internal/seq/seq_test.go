@@ -1,0 +1,113 @@
+package seq
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/par"
+)
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	r := par.NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+func corpus() []*graph.Graph {
+	return []*graph.Graph{
+		graph.NewBuilder(0).Build(),
+		graph.NewBuilder(5).Build(),
+		pathGraph(50),
+		completeGraph(12),
+		randomGraph(400, 1600, 1),
+		randomGraph(400, 200, 2),
+	}
+}
+
+func TestSeqMatchingMaximal(t *testing.T) {
+	for i, g := range corpus() {
+		if err := matching.Verify(g, Matching(g)); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestSeqMISMaximal(t *testing.T) {
+	for i, g := range corpus() {
+		if err := mis.Verify(g, MIS(g)); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestSeqColorProper(t *testing.T) {
+	for i, g := range corpus() {
+		c := Color(g)
+		if err := coloring.Verify(g, c); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if g.NumVertices() > 0 && c.NumColors() > g.MaxDegree()+1 {
+			t.Fatalf("case %d: %d colors for Δ=%d", i, c.NumColors(), g.MaxDegree())
+		}
+	}
+}
+
+func TestSeqColorDegeneracyBound(t *testing.T) {
+	// A path has degeneracy 1: smallest-degree-last greedy must 2-color
+	// it. A complete graph needs exactly n.
+	if c := Color(pathGraph(100)); c.NumColors() != 2 {
+		t.Fatalf("path colored with %d colors", c.NumColors())
+	}
+	if c := Color(completeGraph(9)); c.NumColors() != 9 {
+		t.Fatalf("K9 colored with %d colors", c.NumColors())
+	}
+	// Planar-ish grid (degeneracy 2): at most 3 colors.
+	b := graph.NewBuilder(100)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j+1 < 10 {
+				b.AddEdge(int32(i*10+j), int32(i*10+j+1))
+			}
+			if i+1 < 10 {
+				b.AddEdge(int32(i*10+j), int32((i+1)*10+j))
+			}
+		}
+	}
+	if c := Color(b.Build()); c.NumColors() > 3 {
+		t.Fatalf("grid colored with %d colors", c.NumColors())
+	}
+}
+
+func TestSeqDeterministic(t *testing.T) {
+	g := randomGraph(300, 1200, 3)
+	a, b := Color(g), Color(g)
+	for i := range a.Color {
+		if a.Color[i] != b.Color[i] {
+			t.Fatal("sequential coloring not deterministic")
+		}
+	}
+}
