@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race vet bench-smoke bench-par fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race check on the packages with lock-free hot paths: the parallel runtime
+# (pool dispatch, scratch arenas) and graph construction (atomic scatter).
+race:
+	$(GO) test -race ./internal/par/... ./internal/graph/...
+
+vet:
+	$(GO) vet ./...
+
+# Quick end-to-end benchmark smoke: one iteration of the paper-figure
+# benchmarks, archived as JSON for cross-PR regression comparison.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^(BenchmarkFig2Decomp|BenchmarkTable1)' -benchtime=1x . \
+		| $(GO) run scripts/bench2json.go -o BENCH_pr1.json
+
+# Runtime micro-benchmarks: pooled dispatch vs the seed spawn-per-call
+# implementation, scan/filter allocation behavior, CSR construction.
+bench-par:
+	$(GO) test -run='^$$' -bench='ForSpawn|RangeSkewed|ExclusiveSum32|FilterCompact' -benchtime=100x ./internal/par/
+	$(GO) test -run='^$$' -bench='BuilderFromEdges|PartitionByLabel' -benchtime=10x ./internal/graph/
+
+fmt:
+	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

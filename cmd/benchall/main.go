@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/harness"
+	"repro/internal/par"
 )
 
 func main() {
@@ -36,7 +37,13 @@ func main() {
 	verify := flag.Bool("verify", true, "verify every solution")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+	parstats := flag.Bool("parstats", false, "collect and print parallel-runtime counters (pool dispatches, chunk steals, spawns avoided)")
 	flag.Parse()
+
+	if *parstats {
+		par.EnableStats(true)
+		par.ResetStats()
+	}
 
 	cfg := harness.Config{
 		Scale:   *scale,
@@ -143,6 +150,9 @@ func main() {
 		}
 	} else {
 		run(*exp)
+	}
+	if *parstats {
+		fmt.Fprintf(os.Stderr, "benchall: %s\n", harness.RuntimeStatsNote())
 	}
 	fmt.Fprintf(os.Stderr, "benchall: done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -9,9 +9,10 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"repro/internal/coloring"
 	"repro/internal/graph"
@@ -88,11 +89,18 @@ func interferenceGraph(ranges []liveRange) *graph.Graph {
 	}
 	// Closes sort before opens at equal positions, so touching ranges do
 	// not interfere.
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
+	slices.SortFunc(events, func(a, b event) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
 		}
-		return !events[i].open && events[j].open
+		switch {
+		case !a.open && b.open:
+			return -1
+		case a.open && !b.open:
+			return 1
+		default:
+			return 0
+		}
 	})
 	b := graph.NewBuilder(len(ranges))
 	active := map[int32]bool{}

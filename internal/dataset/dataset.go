@@ -13,7 +13,8 @@ package dataset
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"repro/internal/gen"
@@ -232,6 +233,6 @@ func ClearCache() {
 // SortedByName returns the specs sorted by name (for stable CLI listings).
 func SortedByName() []Spec {
 	out := All()
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b Spec) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }

@@ -11,8 +11,9 @@
 package gen
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -77,12 +78,11 @@ func RGG(n int, radius float64, seed uint64) *graph.Graph {
 		cy := int64(ys[i] * float64(gridSide))
 		return cx*int64(gridSide) + cy
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ka, kb := cellKey(order[a]), cellKey(order[b])
-		if ka != kb {
-			return ka < kb
+	slices.SortFunc(order, func(a, b int32) int {
+		if ka, kb := cellKey(a), cellKey(b); ka != kb {
+			return cmp.Compare(ka, kb)
 		}
-		return xs[order[a]] < xs[order[b]]
+		return cmp.Compare(xs[a], xs[b])
 	})
 	nx := make([]float64, n)
 	ny := make([]float64, n)
@@ -421,7 +421,7 @@ func DegreeHistogram(g *graph.Graph) (degrees []int32, counts []int64) {
 	for d := range hist {
 		degrees = append(degrees, d)
 	}
-	sort.Slice(degrees, func(i, j int) bool { return degrees[i] < degrees[j] })
+	slices.Sort(degrees)
 	counts = make([]int64, len(degrees))
 	for i, d := range degrees {
 		counts[i] = hist[d]

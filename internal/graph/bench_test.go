@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// benchEdges builds a reproducible random edge list large enough to cross
+// scatterParallelCutoff, so FromEdges takes the parallel degree-count +
+// scatter path.
+func benchEdges(n int, m int) []Edge {
+	edges := make([]Edge, m)
+	par.For(m, func(i int) {
+		u := int32(par.Hash64(11, int64(i)) % uint64(n))
+		v := int32(par.Hash64(13, int64(i)) % uint64(n))
+		if u == v {
+			v = (v + 1) % int32(n)
+		}
+		edges[i] = Edge{u, v}.Canon()
+	})
+	return edges
+}
+
+// BenchmarkBuilderFromEdges measures end-to-end CSR construction (sort,
+// dedupe, degree count, scatter, per-list sort). w=1 takes the sequential
+// scatter path (what a single-core host runs by default); w=4 forces the
+// atomic degree-count + parallel-scatter path. Both use the scratch arenas
+// and non-reflective per-list sort.
+func BenchmarkBuilderFromEdges(b *testing.B) {
+	defer par.SetWorkers(0)
+	const n = 50_000
+	edges := benchEdges(n, 400_000)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := FromEdges(n, edges)
+				if g.NumVertices() != n {
+					b.Fatal("bad build")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionByLabel measures the decomposition hot path: splitting
+// a graph into k parts plus the cross-edge subgraph, exercising the
+// subgraph scratch arenas.
+func BenchmarkPartitionByLabel(b *testing.B) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(4)
+	const n = 50_000
+	g := FromEdges(n, benchEdges(n, 400_000))
+	const k = 8
+	label := make([]int32, n)
+	par.For(n, func(i int) {
+		label[i] = int32(par.Hash64(7, int64(i)) % k)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, cross := PartitionByLabel(g, label, k)
+		if len(parts) != k || cross == nil {
+			b.Fatal("bad partition")
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package graph
 
 import (
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/par"
 )
@@ -88,31 +89,64 @@ func FromEdges(n int, edges []Edge) *Graph {
 	return fromCanonicalEdges(n, uniq)
 }
 
+// Reusable arenas for the builder's transient degree/cursor arrays.
+var (
+	degScratch par.Scratch[int32]
+	posScratch par.Scratch[int64]
+)
+
+// scatterParallelCutoff is the edge count below which the CSR scatter runs
+// sequentially: per-edge atomic adds only pay off once there is enough work
+// to share.
+const scatterParallelCutoff = 1 << 15
+
 // fromCanonicalEdges builds a CSR graph from deduplicated edges with U < V.
+// The degree count and edge scatter run in parallel over the edge list with
+// per-vertex atomic cursors; the scatter order inside each adjacency list is
+// schedule-dependent, so each list is sorted afterwards — the resulting
+// graph is identical under any worker count.
 func fromCanonicalEdges(n int, edges []Edge) *Graph {
-	deg := make([]int32, n)
-	for _, e := range edges {
-		deg[e.U]++
-		deg[e.V]++
+	m := len(edges)
+	deg := degScratch.Get(n)
+	par.Fill(deg, 0)
+	parallel := par.Workers() > 1 && m >= scatterParallelCutoff
+	if parallel {
+		par.For(m, func(i int) {
+			e := edges[i]
+			atomic.AddInt32(&deg[e.U], 1)
+			atomic.AddInt32(&deg[e.V], 1)
+		})
+	} else {
+		for _, e := range edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
 	}
 	off := par.ExclusiveSum32(deg)
+	degScratch.Put(deg)
 	adj := make([]int32, off[n])
-	pos := make([]int64, n)
-	copy(pos, off[:n])
-	for _, e := range edges {
-		adj[pos[e.U]] = e.V
-		pos[e.U]++
-		adj[pos[e.V]] = e.U
-		pos[e.V]++
+	pos := posScratch.Get(n)
+	par.Copy(pos, off[:n])
+	if parallel {
+		par.For(m, func(i int) {
+			e := edges[i]
+			adj[atomic.AddInt64(&pos[e.U], 1)-1] = e.V
+			adj[atomic.AddInt64(&pos[e.V], 1)-1] = e.U
+		})
+	} else {
+		for _, e := range edges {
+			adj[pos[e.U]] = e.V
+			pos[e.U]++
+			adj[pos[e.V]] = e.U
+			pos[e.V]++
+		}
 	}
-	// Each list was filled in increasing U order for forward arcs but the
-	// reverse arcs interleave; sort each adjacency list (parallel over
-	// vertices).
+	posScratch.Put(pos)
+	// Sort each adjacency list (parallel over vertices; slices.Sort runs
+	// an insertion sort on the short lists that dominate these graphs).
 	g := &Graph{off: off, adj: adj}
 	par.For(n, func(i int) {
-		lo, hi := off[i], off[i+1]
-		s := adj[lo:hi]
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		slices.Sort(adj[off[i]:off[i+1]])
 	})
 	return g
 }

@@ -6,6 +6,14 @@ import (
 	"repro/internal/par"
 )
 
+// Reusable arenas for subgraph extraction's transient per-vertex arrays
+// (local ids, membership flags). decomp materializes subgraphs on every
+// decomposition, so these are hot enough to be worth keeping warm.
+var (
+	idScratch     par.Scratch[int32]
+	memberScratch par.Scratch[int64]
+)
+
 // Sub is a materialized subgraph of a parent graph, with the local→global
 // vertex mapping needed to transfer solutions (matchings, colorings,
 // independent sets) computed on the subgraph back to the parent.
@@ -73,7 +81,7 @@ func PartitionByLabel(g *Graph, label []int32, k int) (parts []*Sub, cross *Sub)
 			running[l] += counts[w][l]
 		}
 	}
-	localID := make([]int32, n)
+	localID := idScratch.Get(n)
 	par.RangeIdx(n, func(w, lo, hi int) {
 		next := make([]int64, k)
 		copy(next, chunkBase[w])
@@ -94,8 +102,8 @@ func PartitionByLabel(g *Graph, label []int32, k int) (parts []*Sub, cross *Sub)
 	})
 
 	// Intra-part degrees and cross degrees.
-	intraDeg := make([]int32, n)
-	crossDeg := make([]int32, n)
+	intraDeg := degScratch.Get(n)
+	crossDeg := degScratch.Get(n)
 	par.For(n, func(i int) {
 		v := int32(i)
 		l := label[i]
@@ -116,10 +124,11 @@ func PartitionByLabel(g *Graph, label []int32, k int) (parts []*Sub, cross *Sub)
 	parts = make([]*Sub, k)
 	for l := 0; l < k; l++ {
 		m := int(partSize[l])
-		deg := make([]int32, m)
+		deg := degScratch.Get(m)
 		tg := toGlobal[l]
 		par.For(m, func(j int) { deg[j] = intraDeg[tg[j]] })
 		off := par.ExclusiveSum32(deg)
+		degScratch.Put(deg)
 		adj := make([]int32, off[m])
 		par.For(m, func(j int) {
 			v := tg[j]
@@ -133,10 +142,13 @@ func PartitionByLabel(g *Graph, label []int32, k int) (parts []*Sub, cross *Sub)
 		})
 		parts[l] = &Sub{G: &Graph{off: off, adj: adj}, ToGlobal: tg}
 	}
+	idScratch.Put(localID)
+	degScratch.Put(intraDeg)
 
 	cross = buildEdgeInduced(g, crossDeg, func(v, w int32) bool {
 		return label[v] != label[w]
 	})
+	degScratch.Put(crossDeg)
 	return parts, cross
 }
 
@@ -145,7 +157,7 @@ func PartitionByLabel(g *Graph, label []int32, k int) (parts []*Sub, cross *Sub)
 // of those edges. keep must be symmetric and safe for concurrent calls.
 func EdgeInducedSubgraph(g *Graph, keep func(u, v int32) bool) *Sub {
 	n := g.NumVertices()
-	deg := make([]int32, n)
+	deg := degScratch.Get(n)
 	par.For(n, func(i int) {
 		v := int32(i)
 		var d int32
@@ -156,32 +168,38 @@ func EdgeInducedSubgraph(g *Graph, keep func(u, v int32) bool) *Sub {
 		}
 		deg[i] = d
 	})
-	return buildEdgeInduced(g, deg, keep)
+	sub := buildEdgeInduced(g, deg, keep)
+	degScratch.Put(deg)
+	return sub
 }
 
 // buildEdgeInduced builds the edge-induced Sub from precomputed kept-edge
 // degrees and the predicate.
 func buildEdgeInduced(g *Graph, keptDeg []int32, keep func(v, w int32) bool) *Sub {
 	n := g.NumVertices()
-	inSub := make([]int64, n)
+	inSub := memberScratch.Get(n)
 	par.For(n, func(i int) {
 		if keptDeg[i] > 0 {
 			inSub[i] = 1
+		} else {
+			inSub[i] = 0
 		}
 	})
 	rank := par.ExclusiveSum(inSub)
 	m := int(rank[n])
 	tg := make([]int32, m)
-	localID := make([]int32, n)
+	localID := idScratch.Get(n)
 	par.For(n, func(i int) {
 		if inSub[i] == 1 {
 			localID[i] = int32(rank[i])
 			tg[rank[i]] = int32(i)
 		}
 	})
-	deg := make([]int32, m)
+	memberScratch.Put(inSub)
+	deg := degScratch.Get(m)
 	par.For(m, func(j int) { deg[j] = keptDeg[tg[j]] })
 	off := par.ExclusiveSum32(deg)
+	degScratch.Put(deg)
 	adj := make([]int32, off[m])
 	par.For(m, func(j int) {
 		v := tg[j]
@@ -193,6 +211,7 @@ func buildEdgeInduced(g *Graph, keptDeg []int32, keep func(v, w int32) bool) *Su
 			}
 		}
 	})
+	idScratch.Put(localID)
 	return &Sub{G: &Graph{off: off, adj: adj}, ToGlobal: tg}
 }
 
@@ -202,7 +221,7 @@ func buildEdgeInduced(g *Graph, keptDeg []int32, keep func(v, w int32) bool) *Su
 // to form G − B without renumbering vertices.
 func RemoveEdges(g *Graph, keep func(u, v int32) bool) *Graph {
 	n := g.NumVertices()
-	deg := make([]int32, n)
+	deg := degScratch.Get(n)
 	par.For(n, func(i int) {
 		v := int32(i)
 		var d int32
@@ -214,6 +233,7 @@ func RemoveEdges(g *Graph, keep func(u, v int32) bool) *Graph {
 		deg[i] = d
 	})
 	off := par.ExclusiveSum32(deg)
+	degScratch.Put(deg)
 	adj := make([]int32, off[n])
 	par.For(n, func(i int) {
 		v := int32(i)

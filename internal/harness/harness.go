@@ -10,8 +10,9 @@
 package harness
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 	"unicode/utf8"
@@ -198,7 +199,7 @@ func measure(cfg Config, g *graph.Graph, spec dataset.Spec, p core.Problem, s co
 		}
 		runs = append(runs, c)
 	}
-	sort.Slice(runs, func(i, j int) bool { return runs[i].Time < runs[j].Time })
+	slices.SortFunc(runs, func(a, b Cell) int { return cmp.Compare(a.Time, b.Time) })
 	return runs[len(runs)/2]
 }
 

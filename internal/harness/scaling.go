@@ -15,6 +15,12 @@ import (
 // fixes 80 threads on its 20-core testbed and never varies them; this
 // experiment is an extension. On a single-core host every column is
 // equal by construction.)
+//
+// Runtime counters are collected across the sweep: the note under the
+// table reports how many loop dispatches the persistent pool served, how
+// many chunks its workers picked up off the submitting goroutine
+// (steals), and how many goroutine launches a spawn-per-call runtime
+// would have paid for the same work.
 func Scaling(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	counts := []int{1, 2, 4, 8}
@@ -25,6 +31,10 @@ func Scaling(cfg Config) *Table {
 		t.Header = append(t.Header, fmt.Sprintf("w=%d", w))
 	}
 	defer par.SetWorkers(0)
+	statsWereOn := par.StatsEnabled()
+	par.EnableStats(true)
+	par.ResetStats()
+	defer par.EnableStats(statsWereOn)
 	for _, spec := range cfg.specs() {
 		g := dataset.Load(spec, cfg.Scale, cfg.Seed)
 		gmRow := []string{spec.Name, "GM"}
@@ -36,5 +46,15 @@ func Scaling(cfg Config) *Table {
 		}
 		t.Rows = append(t.Rows, gmRow, lubyRow)
 	}
+	t.Notes = append(t.Notes, RuntimeStatsNote())
 	return t
+}
+
+// RuntimeStatsNote renders the current par runtime counters as one table
+// note line.
+func RuntimeStatsNote() string {
+	st := par.SnapshotStats()
+	return fmt.Sprintf(
+		"par runtime: %d pooled dispatches, %d inline loops, %d chunks (%d stolen by pool workers), %d goroutine spawns avoided",
+		st.Tasks, st.SeqLoops, st.Chunks, st.Steals, st.SpawnsAvoided)
 }

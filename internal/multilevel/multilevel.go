@@ -12,8 +12,9 @@
 package multilevel
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -233,7 +234,7 @@ func contract(cur *wgraph, seed uint64) (*wgraph, []int32, bool) {
 	for cv := int32(0); cv < next; cv++ {
 		out.off[cv] = pos
 		as := coarseAdj[cv]
-		sort.Slice(as, func(i, j int) bool { return as[i].to < as[j].to })
+		slices.SortFunc(as, func(a, b arc) int { return cmp.Compare(a.to, b.to) })
 		for i := 0; i < len(as); {
 			j := i
 			var wsum int64

@@ -4,15 +4,21 @@
 // deterministic random number generator.
 //
 // The package plays the role of the paper's OpenMP-style 80-thread CPU
-// runtime. Parallel loops split the index space into contiguous chunks and
-// run one goroutine per chunk; the number of workers defaults to
+// runtime. Loops run on a persistent pool of worker goroutines (see pool.go):
+// a call splits the index space into adaptively sized chunks that the caller
+// and parked pool workers claim dynamically, so no goroutines are spawned and
+// no scheduler teardown is paid per call. The number of workers defaults to
 // runtime.GOMAXPROCS(0) and can be overridden globally with SetWorkers (for
 // scaling experiments) or per-call with the *N variants.
+//
+// Chunk boundaries depend only on the loop length and the worker setting,
+// never on scheduling, so per-chunk scratch indexed by RangeIdx's chunk index
+// is deterministic, and algorithms built from associative per-chunk
+// combinations produce identical results under any worker count.
 package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -21,7 +27,10 @@ import (
 var defaultWorkers int64
 
 // SetWorkers sets the default worker count for all loop primitives in this
-// package. n <= 0 restores the default of runtime.GOMAXPROCS(0).
+// package. n <= 0 restores the default of runtime.GOMAXPROCS(0). Changing
+// the count between calls is safe at any point; changing it while a loop
+// using the default is being dispatched leaves that loop on whichever
+// setting it observed.
 func SetWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -37,10 +46,6 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// minGrain is the smallest chunk worth spawning a goroutine for. Loops over
-// fewer elements run sequentially: goroutine startup would dominate.
-const minGrain = 1024
-
 // For runs fn(i) for every i in [0, n) in parallel.
 func For(n int, fn func(i int)) {
 	ForN(n, Workers(), fn)
@@ -48,7 +53,7 @@ func For(n int, fn func(i int)) {
 
 // ForN is For with an explicit worker count.
 func ForN(n, workers int, fn func(i int)) {
-	RangeN(n, workers, func(lo, hi int) {
+	runN(n, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
@@ -64,103 +69,55 @@ func Range(n int, fn func(lo, hi int)) {
 
 // RangeN is Range with an explicit worker count.
 func RangeN(n, workers int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = Workers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 || n < minGrain {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runN(n, workers, func(_, lo, hi int) {
+		fn(lo, hi)
+	})
 }
 
-// RangeIdx is Range but also hands each chunk its worker index in
-// [0, NumChunks(n)), so callers can index preallocated per-worker scratch.
+// RangeIdx is Range but also hands each chunk its chunk index in
+// [0, NumChunks(n)), each index used exactly once, so callers can index
+// preallocated per-chunk scratch.
 func RangeIdx(n int, fn func(worker, lo, hi int)) {
-	workers := Workers()
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 || n < minGrain {
-		fn(0, 0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	w := 0
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-		w++
-	}
-	wg.Wait()
+	runN(n, Workers(), fn)
 }
 
 // NumChunks reports how many chunks RangeIdx will create for n elements
-// under the current worker setting. Callers size per-worker scratch with it.
+// under the current worker setting. Callers size per-chunk scratch with it.
 func NumChunks(n int) int {
-	workers := Workers()
-	if n <= 0 {
-		return 0
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 || n < minGrain {
-		return 1
-	}
-	chunk := (n + workers - 1) / workers
-	return (n + chunk - 1) / chunk
+	return numChunksFor(n, Workers())
 }
 
 // Reduce computes a parallel reduction of fn over [0, n) combining partial
 // results with combine, starting from identity. combine must be associative.
+// Partial results combine in chunk-index order, so the result is identical
+// under any worker count.
 func Reduce[T any](n int, identity T, fn func(i int) T, combine func(a, b T) T) T {
-	nc := NumChunks(n)
+	workers := Workers()
+	nc := numChunksFor(n, workers)
 	if nc == 0 {
 		return identity
 	}
-	parts := make([]T, nc)
-	RangeIdx(n, func(w, lo, hi int) {
+	if nc == 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = combine(acc, fn(i))
+		}
+		return acc
+	}
+	s := scratchFor[T]()
+	parts := s.Get(nc)
+	runN(n, workers, func(c, lo, hi int) {
 		acc := identity
 		for i := lo; i < hi; i++ {
 			acc = combine(acc, fn(i))
 		}
-		parts[w] = acc
+		parts[c] = acc
 	})
 	acc := identity
 	for _, p := range parts {
 		acc = combine(acc, p)
 	}
+	s.Put(parts)
 	return acc
 }
 
@@ -193,14 +150,16 @@ func MaxIndexed[T int | int32 | int64 | float64](n int, identity T, fn func(i in
 // ExclusiveSum computes the exclusive prefix sum of src into a new slice of
 // length len(src)+1; the final element is the total. The scan is parallel:
 // per-chunk sums, a sequential pass over the (few) chunk totals, then a
-// parallel fill.
+// parallel fill. Only the returned slice is allocated; chunk scratch comes
+// from a reusable arena.
 func ExclusiveSum(src []int64) []int64 {
 	n := len(src)
 	out := make([]int64, n+1)
 	if n == 0 {
 		return out
 	}
-	nc := NumChunks(n)
+	workers := Workers()
+	nc := numChunksFor(n, workers)
 	if nc == 1 {
 		var acc int64
 		for i, v := range src {
@@ -210,40 +169,76 @@ func ExclusiveSum(src []int64) []int64 {
 		out[n] = acc
 		return out
 	}
-	sums := make([]int64, nc)
-	bounds := make([][2]int, nc)
-	RangeIdx(n, func(w, lo, hi int) {
+	sums := i64Scratch.Get(nc)
+	runN(n, workers, func(c, lo, hi int) {
 		var acc int64
 		for i := lo; i < hi; i++ {
 			acc += src[i]
 		}
-		sums[w] = acc
-		bounds[w] = [2]int{lo, hi}
+		sums[c] = acc
 	})
 	var total int64
-	for w := 0; w < nc; w++ {
-		s := sums[w]
-		sums[w] = total
+	for c := 0; c < nc; c++ {
+		s := sums[c]
+		sums[c] = total
 		total += s
 	}
-	RangeIdx(n, func(w, lo, hi int) {
-		acc := sums[w]
+	runN(n, workers, func(c, lo, hi int) {
+		acc := sums[c]
 		for i := lo; i < hi; i++ {
 			out[i] = acc
 			acc += src[i]
 		}
 	})
 	out[n] = total
+	i64Scratch.Put(sums)
 	return out
 }
 
 // ExclusiveSum32 is ExclusiveSum for int32 counts with int64 offsets, the
-// shape used when building CSR offsets from degree arrays.
+// shape used when building CSR offsets from degree arrays. The widening
+// happens inside the scan passes — no temporary int64 copy of src is made.
 func ExclusiveSum32(src []int32) []int64 {
 	n := len(src)
-	tmp := make([]int64, n)
-	For(n, func(i int) { tmp[i] = int64(src[i]) })
-	return ExclusiveSum(tmp)
+	out := make([]int64, n+1)
+	if n == 0 {
+		return out
+	}
+	workers := Workers()
+	nc := numChunksFor(n, workers)
+	if nc == 1 {
+		var acc int64
+		for i, v := range src {
+			out[i] = acc
+			acc += int64(v)
+		}
+		out[n] = acc
+		return out
+	}
+	sums := i64Scratch.Get(nc)
+	runN(n, workers, func(c, lo, hi int) {
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += int64(src[i])
+		}
+		sums[c] = acc
+	})
+	var total int64
+	for c := 0; c < nc; c++ {
+		s := sums[c]
+		sums[c] = total
+		total += s
+	}
+	runN(n, workers, func(c, lo, hi int) {
+		acc := sums[c]
+		for i := lo; i < hi; i++ {
+			out[i] = acc
+			acc += int64(src[i])
+		}
+	})
+	out[n] = total
+	i64Scratch.Put(sums)
+	return out
 }
 
 // Fill sets dst[i] = v for all i in parallel.
@@ -275,32 +270,60 @@ func Copy[T any](dst, src []T) {
 }
 
 // Filter returns the elements of src satisfying pred, preserving order.
-// pred runs in parallel and must be safe for concurrent calls. Used for
-// frontier/active-set compaction in the iterative solvers.
+// It counts matches per chunk, sizes the output exactly, then copies —
+// no per-chunk growth or final concatenation. pred therefore runs twice
+// per element and must be pure (same answer both times) and safe for
+// concurrent calls; every use in this repository is a flag lookup. Used
+// for frontier/active-set compaction in the iterative solvers.
 func Filter[T any](src []T, pred func(T) bool) []T {
 	n := len(src)
-	nc := NumChunks(n)
-	if nc == 0 {
+	if n == 0 {
 		return nil
 	}
-	bufs := make([][]T, nc)
-	RangeIdx(n, func(w, lo, hi int) {
-		var out []T
-		for i := lo; i < hi; i++ {
+	workers := Workers()
+	nc := numChunksFor(n, workers)
+	if nc == 1 {
+		total := 0
+		for i := 0; i < n; i++ {
+			if pred(src[i]) {
+				total++
+			}
+		}
+		out := make([]T, 0, total)
+		for i := 0; i < n; i++ {
 			if pred(src[i]) {
 				out = append(out, src[i])
 			}
 		}
-		bufs[w] = out
+		return out
+	}
+	counts := i64Scratch.Get(nc)
+	runN(n, workers, func(c, lo, hi int) {
+		var cnt int64
+		for i := lo; i < hi; i++ {
+			if pred(src[i]) {
+				cnt++
+			}
+		}
+		counts[c] = cnt
 	})
-	total := 0
-	for _, b := range bufs {
-		total += len(b)
+	var total int64
+	for c := 0; c < nc; c++ {
+		s := counts[c]
+		counts[c] = total
+		total += s
 	}
-	out := make([]T, 0, total)
-	for _, b := range bufs {
-		out = append(out, b...)
-	}
+	out := make([]T, total)
+	runN(n, workers, func(c, lo, hi int) {
+		p := counts[c]
+		for i := lo; i < hi; i++ {
+			if pred(src[i]) {
+				out[p] = src[i]
+				p++
+			}
+		}
+	})
+	i64Scratch.Put(counts)
 	return out
 }
 

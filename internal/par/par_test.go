@@ -253,7 +253,26 @@ func TestNumChunksBounds(t *testing.T) {
 	}
 	n := 1 << 20
 	nc := NumChunks(n)
-	if nc < 1 || nc > Workers() {
+	if nc < 1 || nc > chunksPerWorker*Workers() {
 		t.Fatalf("NumChunks(%d) = %d with %d workers", n, nc, Workers())
 	}
+	// The dispatcher and NumChunks must agree exactly: per-chunk scratch
+	// sized with NumChunks is indexed by RangeIdx's chunk argument.
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		SetWorkers(w)
+		for _, n := range []int{0, 1, 1023, 1024, 4096, 99999, 1 << 20} {
+			want := NumChunks(n)
+			var used int32
+			RangeIdx(n, func(c, lo, hi int) {
+				atomic.AddInt32(&used, 1)
+				if c < 0 || c >= want {
+					t.Errorf("w=%d n=%d: chunk index %d outside [0,%d)", w, n, c, want)
+				}
+			})
+			if int(used) != want {
+				t.Fatalf("w=%d n=%d: NumChunks=%d but dispatcher made %d chunks", w, n, want, used)
+			}
+		}
+	}
+	SetWorkers(0)
 }

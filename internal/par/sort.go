@@ -1,21 +1,32 @@
 package par
 
-import "sort"
+import "slices"
 
 // SortSlice sorts data by less using a parallel merge sort: the slice is
-// split into worker-count runs sorted concurrently with the standard
-// library, then merged pairwise in parallel rounds. Stable ordering is not
-// guaranteed (callers needing stability sort on a unique key). Used by the
-// graph builder, where edge-list sorting dominates construction time on
-// multi-million-edge instances.
+// split into worker-count runs sorted concurrently with the (non-reflective)
+// standard-library pdqsort, then merged pairwise in parallel rounds. Stable
+// ordering is not guaranteed (callers needing stability sort on a unique
+// key). Used by the graph builder, where edge-list sorting dominates
+// construction time on multi-million-edge instances.
 func SortSlice[T any](data []T, less func(a, b T) bool) {
 	n := len(data)
 	workers := Workers()
+	cmp := func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	}
 	if workers == 1 || n < 4*minGrain {
-		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		slices.SortFunc(data, cmp)
 		return
 	}
-	// Split into runs.
+	// Split into runs. Each run is coarse work, so the runs go through Do
+	// (one chunk per run) rather than a grained loop.
 	runs := workers
 	if runs > n {
 		runs = n
@@ -24,11 +35,8 @@ func SortSlice[T any](data []T, less func(a, b T) bool) {
 	for i := 0; i <= runs; i++ {
 		bounds[i] = i * n / runs
 	}
-	RangeN(runs, runs, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			s := data[bounds[r]:bounds[r+1]]
-			sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
-		}
+	Do(runs, func(r int) {
+		slices.SortFunc(data[bounds[r]:bounds[r+1]], cmp)
 	})
 	// Merge rounds: pair up adjacent runs until one remains.
 	buf := make([]T, n)
@@ -37,11 +45,9 @@ func SortSlice[T any](data []T, less func(a, b T) bool) {
 		nb := make([]int, 0, len(bounds)/2+2)
 		nb = append(nb, 0)
 		pairs := (len(bounds) - 1) / 2
-		RangeN(pairs, pairs, func(plo, phi int) {
-			for p := plo; p < phi; p++ {
-				lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
-				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less)
-			}
+		Do(pairs, func(p int) {
+			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
+			mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less)
 		})
 		for p := 0; p < pairs; p++ {
 			nb = append(nb, bounds[2*p+2])

@@ -1,0 +1,83 @@
+//go:build ignore
+
+// bench2json converts `go test -bench` text output on stdin into a JSON
+// array on stdout (or the file named by -o). One object per benchmark
+// line: name, iterations, ns/op, and any extra metrics (B/op, allocs/op).
+//
+// Usage: go test -bench=... | go run scripts/bench2json.go -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable log visible
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		r := result{Name: f[0], Iters: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[f[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if results == nil {
+		results = []result{} // emit [] rather than null when nothing parsed
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d results to %s\n", len(results), *out)
+}
