@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke bench-par fmt
+# bench-gate: max allowed slowdown (percent) before the gate fails.
+GATE_THRESHOLD ?= 2
+
+.PHONY: build test race vet bench-smoke bench-gate bench-par fmt
 
 build:
 	$(GO) build ./...
@@ -9,9 +12,10 @@ test:
 	$(GO) test ./...
 
 # Race check on the packages with lock-free hot paths: the parallel runtime
-# (pool dispatch, scratch arenas) and graph construction (atomic scatter).
+# (pool dispatch, scratch arenas), graph construction (atomic scatter), and
+# the tracer (concurrent span begin/end under the global mutex).
 race:
-	$(GO) test -race ./internal/par/... ./internal/graph/...
+	$(GO) test -race ./internal/par/... ./internal/graph/... ./internal/trace/...
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +25,13 @@ vet:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^(BenchmarkFig2Decomp|BenchmarkTable1)' -benchtime=1x . \
 		| $(GO) run scripts/bench2json.go -o BENCH_pr1.json
+
+# Regression gate: re-run the paper-figure benchmarks (3 repeats, best-of-N
+# per name) and fail if any is more than GATE_THRESHOLD percent slower than
+# the archived BENCH_pr1.json baseline. Improvements always pass.
+bench-gate:
+	$(GO) test -run='^$$' -bench='^(BenchmarkFig2Decomp|BenchmarkTable1)' -benchtime=1x -count=3 . \
+		| $(GO) run scripts/bench2json.go -compare BENCH_pr1.json -threshold $(GATE_THRESHOLD)
 
 # Runtime micro-benchmarks: pooled dispatch vs the seed spawn-per-call
 # implementation, scan/filter allocation behavior, CSR construction.

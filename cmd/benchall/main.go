@@ -11,13 +11,21 @@
 // Experiments: table1, table2, fig2, fig3, fig4, fig5, colors,
 // ablation-parts, ablation-degk, ablation-order, ablation-relabel,
 // ablation-bfs, baselines, ext-biconn, remark1, quality, scaling,
-// mm-progress, decomp-stats, all.
+// mm-progress, decomp-stats, rounds-phases, all.
+//
+// Observability: -trace prints a per-experiment span table on stderr and
+// -traceout FILE writes the same trees as JSON; -parstats prints the
+// parallel-runtime counters per experiment; -cpuprofile/-memprofile write
+// pprof profiles. See DESIGN.md § Observability.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +33,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/harness"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,12 +46,31 @@ func main() {
 	verify := flag.Bool("verify", true, "verify every solution")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
-	parstats := flag.Bool("parstats", false, "collect and print parallel-runtime counters (pool dispatches, chunk steals, spawns avoided)")
+	parstats := flag.Bool("parstats", false, "collect and print parallel-runtime counters per experiment (pool dispatches, chunk steals, spawns avoided)")
+	traceOn := flag.Bool("trace", false, "collect phase/round traces and print a span table per experiment")
+	traceOut := flag.String("traceout", "", "with -trace: also write the traces as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	if *parstats {
 		par.EnableStats(true)
 		par.ResetStats()
+	}
+	if *traceOn {
+		trace.Enable(true)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := harness.Config{
@@ -84,7 +112,7 @@ func main() {
 	}
 
 	start := time.Now()
-	run := func(id string) {
+	dispatch := func(id string) {
 		switch id {
 		case "table1":
 			emit(harness.Table1(cfg))
@@ -119,6 +147,8 @@ func main() {
 			emit(harness.DecompStats(cfg))
 		case "mm-progress":
 			emit(harness.MMProgress(cfg))
+		case "rounds-phases":
+			emit(harness.RoundsPhases(cfg))
 		case "ablation-relabel":
 			emit(harness.RelabelAblation(cfg))
 		case "ablation-bfs":
@@ -141,6 +171,35 @@ func main() {
 		}
 	}
 
+	// expTrace pairs an experiment id with its span tree for -traceout.
+	type expTrace struct {
+		Exp   string       `json:"exp"`
+		Trace trace.Export `json:"trace"`
+	}
+	var traces []expTrace
+
+	// run wraps dispatch with the per-experiment observability: counters
+	// and traces are reset before and reported after each experiment, so
+	// every printed table is attributable to the table above it.
+	run := func(id string) {
+		if *parstats {
+			par.ResetStats()
+		}
+		if *traceOn {
+			trace.Reset()
+		}
+		dispatch(id)
+		if *parstats {
+			fmt.Fprintf(os.Stderr, "benchall[%s]: %s\n", id, harness.RuntimeStatsNote())
+		}
+		if *traceOn {
+			snap := trace.Snapshot()
+			snap.Name = id
+			fmt.Fprintf(os.Stderr, "== trace %s ==\n%s", id, snap.Render())
+			traces = append(traces, expTrace{Exp: id, Trace: snap})
+		}
+	}
+
 	if *exp == "all" {
 		for _, id := range []string{
 			"table2", "fig2", "fig3", "fig4", "fig5", "table1", "colors",
@@ -151,8 +210,37 @@ func main() {
 	} else {
 		run(*exp)
 	}
-	if *parstats {
-		fmt.Fprintf(os.Stderr, "benchall: %s\n", harness.RuntimeStatsNote())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traces); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchall: wrote %d traces to %s\n", len(traces), *traceOut)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	fmt.Fprintf(os.Stderr, "benchall: done in %v\n", time.Since(start).Round(time.Millisecond))
 }

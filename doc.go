@@ -27,12 +27,15 @@
 //	internal/multilevel matching-based k-way partitioner (METIS stand-in)
 //	internal/seq        sequential greedy references
 //	internal/harness    experiment grid runner and table/figure formatters
+//	internal/trace      phase/round span tracing (zero-cost when disabled)
+//	internal/benchfmt   go test -bench output parsing + regression compare
 //	internal/cli        shared command-line plumbing
 //	cmd/benchall        regenerate every table and figure
 //	cmd/symbreak        solve one problem on one instance
 //	cmd/decomp          run one decomposition
 //	cmd/graphgen        write dataset instances to edge-list files
 //	cmd/graphstat       Table II statistics
+//	scripts/            bench2json.go: bench → JSON conversion + regression gate
 //	examples/           quickstart + four domain scenarios
 //
 // See DESIGN.md for the system inventory and per-experiment index, and

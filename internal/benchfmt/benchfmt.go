@@ -1,0 +1,206 @@
+// Package benchfmt parses `go test -bench` text output and compares runs
+// against archived baselines. It backs scripts/bench2json.go (conversion
+// and the regression gate) and keeps the parsing and comparison logic in a
+// testable package: the script itself is a thin flag-and-IO wrapper.
+//
+// A comparison aggregates repeated benchmark lines (e.g. from -count=3) by
+// taking the minimum ns/op per name — the least-noise estimate of a
+// benchmark's true cost — and flags a regression only when the fresh
+// minimum exceeds the baseline by more than a configurable threshold.
+// Improvements never fail the gate.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement, as archived in BENCH_*.json.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ParseLine parses a single `go test -bench` output line. ok is false for
+// lines that are not benchmark results (headers, PASS, log output).
+func ParseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iters: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	return r, true
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines in
+// order. Non-benchmark lines are ignored. If tee is non-nil every input
+// line is copied to it, preserving the human-readable log.
+func Parse(r io.Reader, tee io.Writer) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if tee != nil {
+			fmt.Fprintln(tee, line)
+		}
+		if res, ok := ParseLine(line); ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// ReadJSON decodes an archived BENCH_*.json file.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	var results []Result
+	if err := json.NewDecoder(r).Decode(&results); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// WriteJSON encodes results as indented JSON (the BENCH_*.json format). A
+// nil slice is written as [] rather than null.
+func WriteJSON(w io.Writer, results []Result) error {
+	if results == nil {
+		results = []Result{}
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// Best collapses repeated measurements (e.g. -count=3) to the minimum
+// ns/op per benchmark name — the standard low-noise aggregate.
+func Best(results []Result) map[string]Result {
+	best := make(map[string]Result, len(results))
+	for _, r := range results {
+		if b, ok := best[r.Name]; !ok || r.NsPerOp < b.NsPerOp {
+			best[r.Name] = r
+		}
+	}
+	return best
+}
+
+// Delta is one benchmark's baseline-vs-fresh comparison.
+type Delta struct {
+	Name    string
+	BaseNs  float64
+	FreshNs float64
+	// Percent is the relative change: positive means the fresh run is
+	// slower than the baseline.
+	Percent float64
+	// Regression is true when Percent exceeds the comparison threshold.
+	Regression bool
+	// MissingBase marks benchmarks present only in the fresh run (new
+	// benchmarks pass the gate; they have nothing to regress against).
+	MissingBase bool
+}
+
+// Comparison is the result of comparing a fresh run against a baseline.
+type Comparison struct {
+	// ThresholdPct is the regression threshold in percent.
+	ThresholdPct float64
+	Deltas       []Delta
+	// MissingFresh lists baseline benchmarks absent from the fresh run.
+	// The gate fails on these: a silently vanished benchmark must not
+	// count as a pass.
+	MissingFresh []string
+}
+
+// Compare aggregates both runs with Best and compares per name. Deltas are
+// sorted by name for stable output.
+func Compare(baseline, fresh []Result, thresholdPct float64) Comparison {
+	base := Best(baseline)
+	cur := Best(fresh)
+	c := Comparison{ThresholdPct: thresholdPct}
+	for name, f := range cur {
+		d := Delta{Name: name, FreshNs: f.NsPerOp}
+		if b, ok := base[name]; ok && b.NsPerOp > 0 {
+			d.BaseNs = b.NsPerOp
+			d.Percent = (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			d.Regression = d.Percent > thresholdPct
+		} else {
+			d.MissingBase = true
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			c.MissingFresh = append(c.MissingFresh, name)
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	sort.Strings(c.MissingFresh)
+	return c
+}
+
+// Failed reports whether the gate should fail: any regression past the
+// threshold, or a baseline benchmark missing from the fresh run.
+func (c Comparison) Failed() bool {
+	if len(c.MissingFresh) > 0 {
+		return true
+	}
+	for _, d := range c.Deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the comparison as an aligned text table with a PASS/FAIL
+// verdict line.
+func (c Comparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark gate (threshold +%.1f%%)\n", c.ThresholdPct)
+	for _, d := range c.Deltas {
+		switch {
+		case d.MissingBase:
+			fmt.Fprintf(&b, "  NEW   %-40s %12.0f ns/op (no baseline)\n", d.Name, d.FreshNs)
+		case d.Regression:
+			fmt.Fprintf(&b, "  FAIL  %-40s %12.0f -> %12.0f ns/op  %+.1f%%\n",
+				d.Name, d.BaseNs, d.FreshNs, d.Percent)
+		default:
+			fmt.Fprintf(&b, "  ok    %-40s %12.0f -> %12.0f ns/op  %+.1f%%\n",
+				d.Name, d.BaseNs, d.FreshNs, d.Percent)
+		}
+	}
+	for _, name := range c.MissingFresh {
+		fmt.Fprintf(&b, "  FAIL  %-40s missing from fresh run\n", name)
+	}
+	if c.Failed() {
+		b.WriteString("verdict: FAIL\n")
+	} else {
+		b.WriteString("verdict: PASS\n")
+	}
+	return b.String()
+}

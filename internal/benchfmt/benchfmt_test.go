@@ -1,0 +1,164 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1Summary-8   	       1	1058778696 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkFig2Decomp-8      	       1	  51236030 ns/op
+BenchmarkTable1Summary-8   	       1	1012000000 ns/op
+PASS
+ok  	repro	2.1s
+`
+
+func TestParse(t *testing.T) {
+	var tee strings.Builder
+	results, err := Parse(strings.NewReader(sampleOutput), &tee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkTable1Summary-8" || r.Iters != 1 || r.NsPerOp != 1058778696 {
+		t.Errorf("bad first result: %+v", r)
+	}
+	if r.Metrics["B/op"] != 123456 || r.Metrics["allocs/op"] != 789 {
+		t.Errorf("bad metrics: %+v", r.Metrics)
+	}
+	if results[1].Metrics != nil {
+		t.Errorf("second result should have no metrics: %+v", results[1].Metrics)
+	}
+	if tee.String() != sampleOutput {
+		t.Error("tee did not preserve the input verbatim")
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \trepro\t2.1s",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkTooShort-8 1",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine accepted %q", line)
+		}
+	}
+}
+
+func TestBestTakesMinimum(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := Best(results)
+	if got := best["BenchmarkTable1Summary-8"].NsPerOp; got != 1012000000 {
+		t.Errorf("best ns/op = %v, want the 1012000000 minimum", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	results, _ := Parse(strings.NewReader(sampleOutput), nil)
+	var buf strings.Builder
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	if back[0].NsPerOp != results[0].NsPerOp || back[0].Metrics["B/op"] != 123456 {
+		t.Errorf("round trip mangled data: %+v", back[0])
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("nil results encoded as %q, want []", buf.String())
+	}
+}
+
+func bench(name string, ns float64) Result { return Result{Name: name, Iters: 1, NsPerOp: ns} }
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := []Result{bench("BenchmarkA", 100), bench("BenchmarkB", 200)}
+	fresh := []Result{bench("BenchmarkA", 105), bench("BenchmarkB", 201)}
+	c := Compare(base, fresh, 2.0)
+	if !c.Failed() {
+		t.Fatal("5% regression on A should fail a 2% gate")
+	}
+	if !c.Deltas[0].Regression || c.Deltas[0].Name != "BenchmarkA" {
+		t.Errorf("expected regression on BenchmarkA: %+v", c.Deltas)
+	}
+	if c.Deltas[1].Regression {
+		t.Errorf("+0.5%% on BenchmarkB within 2%% gate: %+v", c.Deltas[1])
+	}
+	if !strings.Contains(c.Render(), "verdict: FAIL") {
+		t.Error("render missing FAIL verdict")
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := []Result{bench("BenchmarkA", 100), bench("BenchmarkB", 200)}
+	fresh := []Result{bench("BenchmarkA", 101), bench("BenchmarkB", 150)}
+	c := Compare(base, fresh, 2.0)
+	if c.Failed() {
+		t.Fatalf("+1%% and an improvement should pass: %s", c.Render())
+	}
+	if !strings.Contains(c.Render(), "verdict: PASS") {
+		t.Error("render missing PASS verdict")
+	}
+}
+
+func TestCompareBestOfNAbsorbsNoise(t *testing.T) {
+	// One noisy repeat above threshold, but the best repeat matches the
+	// baseline: the gate must pass.
+	base := []Result{bench("BenchmarkA", 100)}
+	fresh := []Result{bench("BenchmarkA", 130), bench("BenchmarkA", 100)}
+	if c := Compare(base, fresh, 2.0); c.Failed() {
+		t.Fatalf("best-of-N should absorb one noisy repeat: %s", c.Render())
+	}
+}
+
+func TestCompareMissingFreshFails(t *testing.T) {
+	base := []Result{bench("BenchmarkA", 100), bench("BenchmarkGone", 50)}
+	fresh := []Result{bench("BenchmarkA", 100)}
+	c := Compare(base, fresh, 2.0)
+	if !c.Failed() {
+		t.Fatal("a vanished baseline benchmark must fail the gate")
+	}
+	if len(c.MissingFresh) != 1 || c.MissingFresh[0] != "BenchmarkGone" {
+		t.Errorf("MissingFresh = %v", c.MissingFresh)
+	}
+}
+
+func TestCompareNewBenchmarkPasses(t *testing.T) {
+	base := []Result{bench("BenchmarkA", 100)}
+	fresh := []Result{bench("BenchmarkA", 100), bench("BenchmarkNew", 999)}
+	c := Compare(base, fresh, 2.0)
+	if c.Failed() {
+		t.Fatalf("a new benchmark has nothing to regress against: %s", c.Render())
+	}
+	var sawNew bool
+	for _, d := range c.Deltas {
+		if d.Name == "BenchmarkNew" && d.MissingBase {
+			sawNew = true
+		}
+	}
+	if !sawNew {
+		t.Errorf("new benchmark not flagged MissingBase: %+v", c.Deltas)
+	}
+}

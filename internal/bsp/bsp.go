@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // DefaultLaunchOverhead is the simulated fixed cost per kernel launch.
@@ -68,6 +69,11 @@ func New(opts ...Option) *Machine {
 // barrier). Kernels must communicate only through memory writes that are
 // safe under concurrent execution (atomics or disjoint indices), as on a
 // real device.
+//
+// When tracing is enabled, each launch is attributed to the innermost
+// open trace span (counters gpu_launches, gpu_threads, gpu_kernel_ns) —
+// the per-superstep accounting behind the GPU columns of the rounds
+// tables.
 func (m *Machine) Launch(n int, kernel func(tid int)) {
 	start := time.Now()
 	w := m.workers
@@ -75,10 +81,16 @@ func (m *Machine) Launch(n int, kernel func(tid int)) {
 		w = par.Workers()
 	}
 	par.ForN(n, w, kernel)
+	elapsed := time.Since(start)
 	m.launches.Add(1)
 	m.threadsRun.Add(int64(n))
-	m.kernelTime.Add(int64(time.Since(start)))
+	m.kernelTime.Add(int64(elapsed))
 	m.simOverhead.Add(int64(m.launchOverhead))
+	if trace.Enabled() {
+		trace.Add("gpu_launches", 1)
+		trace.Add("gpu_threads", int64(n))
+		trace.Add("gpu_kernel_ns", int64(elapsed))
+	}
 }
 
 // Stats is a snapshot of a Machine's execution counters.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // ColorBridge is the paper's Algorithm 7: color the 2-edge-connected
@@ -14,19 +15,28 @@ import (
 // the conflicted vertices against G_c ∪ G_b = G.
 func ColorBridge(g *graph.Graph, eng Engine) (*Coloring, Report) {
 	rep := Report{Strategy: "COLOR-Bridge"}
+	dsp := trace.Begin("decomp")
 	d := decomp.Bridge(g)
+	dsp.End()
 	rep.Decomp = d.Elapsed
 
 	start := time.Now()
 	// C_c ← COLOR(G_c): G_c keeps global ids, its components color in
 	// parallel inside the engine.
+	sp := trace.Begin("solve/G_c")
 	c, st := eng.Fresh(d.Parts[0].G)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
 	// Only bridge edges can be monochromatic. Reset the lower endpoint of
 	// each conflicting bridge.
+	sp = trace.Begin("solve/repair")
 	work := resetConflicts(c.Color, d.Bridges)
 	rep.Conflicted = int64(len(work))
 	st = eng.Repair(g, c.Color, work)
+	sp.Add("conflicts", rep.Conflicted)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
 	rep.Solve = time.Since(start)
 	return c, rep
@@ -38,20 +48,29 @@ func ColorBridge(g *graph.Graph, eng Engine) (*Coloring, Report) {
 // against the full graph.
 func ColorRand(g *graph.Graph, k int, seed uint64, eng Engine) (*Coloring, Report) {
 	rep := Report{Strategy: "COLOR-Rand"}
+	dsp := trace.Begin("decomp")
 	d := decomp.Rand(g, k, seed)
+	dsp.End()
 	rep.Decomp = d.Elapsed
 
 	start := time.Now()
 	c := NewColoring(g.NumVertices())
+	sp := trace.Begin("solve/parts")
 	for _, part := range d.Parts {
 		local, st := eng.Fresh(part.G)
 		rep.Rounds += st.Rounds
 		mergeColors(c.Color, part, local)
 	}
+	sp.Add("rounds", int64(rep.Rounds))
+	sp.End()
 	// Conflicts can only sit on cross edges.
+	sp = trace.Begin("solve/repair")
 	work := resetConflictsSub(c.Color, d.Cross)
 	rep.Conflicted = int64(len(work))
 	st := eng.Repair(g, c.Color, work)
+	sp.Add("conflicts", rep.Conflicted)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
 	rep.Solve = time.Since(start)
 	return c, rep
@@ -74,23 +93,31 @@ func ColorDegk(g *graph.Graph, k int, eng Engine) (*Coloring, Report) {
 	rep := Report{Strategy: "COLOR-Degk"}
 	n := g.NumVertices()
 
+	dsp := trace.Begin("decomp")
 	decompStart := time.Now()
 	low := make([]bool, n)
 	par.For(n, func(i int) { low[i] = g.Degree(int32(i)) <= int32(k) })
 	rep.Decomp = time.Since(decompStart)
+	dsp.End()
 
 	start := time.Now()
 	c := NewColoring(n)
 	lowList, high := gather2(n, func(i int) bool { return low[i] })
+	sp := trace.Begin("solve/G_H")
 	if len(high) > 0 {
 		st := eng.Repair(g, c.Color, high)
+		sp.Add("rounds", int64(st.Rounds))
 		rep.Rounds += st.Rounds
 	}
+	sp.End()
 	base := c.NumColors() // palette for G_L starts above max(C_H)
+	sp = trace.Begin("solve/G_L")
 	if len(lowList) > 0 {
 		st := boundedPalette(g, c.Color, lowList, base, k+1, eng.Exec)
+		sp.Add("rounds", int64(st.Rounds))
 		rep.Rounds += st.Rounds
 	}
+	sp.End()
 	rep.Solve = time.Since(start)
 	return c, rep
 }
@@ -230,6 +257,9 @@ func boundedPalette(g *graph.Graph, color []int32, work []int32, base int32, siz
 			}
 		})
 		work = par.Filter(work, func(v int32) bool { return color[v] == Uncolored })
+		if trace.Enabled() {
+			trace.Append("frontier", int64(len(work)))
+		}
 	}
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // EB is the paper's GPU baseline (Algorithm EB, after Deveci et al.):
@@ -75,6 +76,9 @@ func (eb *EB) Repair(g *graph.Graph, color []int32, work []int32) Stats {
 			}
 		})
 		work = par.Filter(work, func(v int32) bool { return color[v] == Uncolored })
+		if trace.Enabled() {
+			trace.Append("frontier", int64(len(work)))
+		}
 	}
 	return st
 }

@@ -3,6 +3,7 @@ package coloring
 import (
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // VB is the paper's multicore CPU baseline (Algorithm VB, after Deveci et
@@ -98,6 +99,9 @@ func (vb *VB) Repair(g *graph.Graph, color []int32, work []int32) Stats {
 			}
 		})
 		work = par.Filter(work, func(v int32) bool { return color[v] == Uncolored })
+		if trace.Enabled() {
+			trace.Append("frontier", int64(len(work)))
+		}
 	}
 	return st
 }

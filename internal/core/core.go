@@ -20,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mis"
+	"repro/internal/trace"
 )
 
 // Problem selects which symmetry-breaking problem to solve.
@@ -215,6 +216,7 @@ func Solve(g *graph.Graph, p Problem, opt Options) (*Result, error) {
 		before = opt.Machine.Stats()
 	}
 
+	sp := trace.Beginf("core %s/%s/%s", p, strategy, opt.Arch)
 	switch p {
 	case ProblemMM:
 		solveMM(g, strategy, opt, res)
@@ -223,8 +225,11 @@ func Solve(g *graph.Graph, p Problem, opt Options) (*Result, error) {
 	case ProblemMIS:
 		solveMIS(g, strategy, opt, res)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("core: unknown problem %d", p)
 	}
+	sp.Add("rounds", int64(res.Report.Rounds))
+	sp.End()
 
 	if opt.Arch == ArchGPU {
 		after := opt.Machine.Stats()
@@ -247,11 +252,15 @@ func solveMM(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 	}
 	switch strategy {
 	case StrategyBaseline:
+		sp := trace.Begin("solve")
 		start := time.Now()
 		m, st := alg(g)
 		res.Matching = m
 		res.Report.Solve = time.Since(start)
 		res.Report.Rounds = st.Rounds
+		sp.Add("rounds", int64(st.Rounds))
+		sp.Add("matched", st.Matched)
+		sp.End()
 		if opt.Arch == ArchGPU {
 			res.Report.StrategyName = "LMAX"
 		} else {
@@ -288,12 +297,15 @@ func solveColor(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 	}
 	switch strategy {
 	case StrategyBaseline:
+		sp := trace.Begin("solve")
 		start := time.Now()
 		c, st := eng.Fresh(g)
 		res.Coloring = c
 		res.Report.Solve = time.Since(start)
 		res.Report.Rounds = st.Rounds
 		res.Report.StrategyName = eng.Name()
+		sp.Add("rounds", int64(st.Rounds))
+		sp.End()
 	case StrategyBridge:
 		c, rep := coloring.ColorBridge(g, eng)
 		res.Coloring = c
@@ -325,6 +337,7 @@ func solveMIS(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 	}
 	switch strategy {
 	case StrategyBaseline:
+		sp := trace.Begin("solve")
 		start := time.Now()
 		var s *mis.IndepSet
 		var st mis.Stats
@@ -337,6 +350,8 @@ func solveMIS(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 		res.Report.Solve = time.Since(start)
 		res.Report.Rounds = st.Rounds
 		res.Report.StrategyName = "LubyMIS"
+		sp.Add("rounds", int64(st.Rounds))
+		sp.End()
 	case StrategyBridge:
 		s, rep := mis.MISBridge(g, alg)
 		res.IndepSet = s

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTracePhaseCoverage checks the observability contract the docs promise:
+// with tracing on, every Solve produces a span tree whose top-level span
+// wraps the whole call and whose phase children account for (almost) all of
+// it — the per-phase times must sum to the solver's wall clock up to the
+// instrumentation's own overhead. The bound here is looser than the 5%
+// documented for benchall-sized runs because these test graphs solve in
+// microseconds, where fixed span overhead weighs proportionally more.
+func TestTracePhaseCoverage(t *testing.T) {
+	g := randomGraph(4000, 40000, 3)
+	trace.Enable(true)
+	defer trace.Enable(false)
+
+	for _, p := range []Problem{ProblemMM, ProblemColor, ProblemMIS} {
+		for _, s := range []Strategy{StrategyBaseline, StrategyBridge, StrategyRand, StrategyDegk} {
+			trace.Reset()
+			if _, err := Solve(g, p, Options{Strategy: s, Seed: 7}); err != nil {
+				t.Fatalf("%v/%v: %v", p, s, err)
+			}
+			snap := trace.Snapshot()
+			if len(snap.Children) != 1 {
+				t.Fatalf("%v/%v: want one top-level span, got %d", p, s, len(snap.Children))
+			}
+			top := snap.Children[0]
+			if top.Dur() <= 0 {
+				t.Fatalf("%v/%v: top span has no duration", p, s)
+			}
+			cover := float64(top.ChildSum()) / float64(top.DurNs)
+			if cover < 0.5 || cover > 1.01 {
+				t.Errorf("%v/%v: phase spans cover %.0f%% of %v (%s)",
+					p, s, cover*100, top.Dur(), top.Name)
+			}
+			if top.Counter("rounds") <= 0 {
+				t.Errorf("%v/%v: top span missing rounds counter", p, s)
+			}
+			// Decomposed strategies must expose a decomp phase and at
+			// least one solve phase.
+			if s != StrategyBaseline {
+				if top.Find("decomp") == nil {
+					t.Errorf("%v/%v: no decomp span", p, s)
+				}
+				var solves int
+				for _, c := range top.Children {
+					if len(c.Name) >= 5 && c.Name[:5] == "solve" {
+						solves++
+					}
+				}
+				if solves == 0 {
+					t.Errorf("%v/%v: no solve/* phase spans", p, s)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceDisabledProducesNothing pins the zero-cost path at this layer:
+// with tracing off, a full Solve must leave the tracer empty.
+func TestTraceDisabledProducesNothing(t *testing.T) {
+	trace.Enable(false)
+	trace.Reset()
+	g := randomGraph(500, 2000, 4)
+	if _, err := Solve(g, ProblemMIS, Options{Strategy: StrategyDegk, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	snap := trace.Snapshot()
+	if len(snap.Children) != 0 || len(snap.Counters) != 0 {
+		t.Fatalf("disabled tracer recorded data: %+v", snap)
+	}
+}

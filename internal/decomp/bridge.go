@@ -6,6 +6,7 @@ import (
 	"repro/internal/bfs"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // BridgeInfo is the lightweight product of the bridge-finding phase of
@@ -46,13 +47,17 @@ func (bi *BridgeInfo) IsBridge(a, b int32) bool {
 // are exactly the bridges of G.
 func FindBridges(g *graph.Graph) *BridgeInfo {
 	bi := &BridgeInfo{}
+	sp := trace.Begin("find-bridges")
 	bi.Elapsed = timed(func() {
 		n := g.NumVertices()
 
 		// STEP 1: parallel BFS forest (multi-source so disconnected inputs
 		// decompose too).
+		bfsSpan := trace.Begin("bfs")
 		tree := bfs.Forest(g)
 		bi.Rounds = tree.Depth
+		bfsSpan.Add("rounds", int64(tree.Depth))
+		bfsSpan.End()
 
 		// covered[v] marks the tree edge {v, P(v)} as lying on some cycle.
 		covered := par.NewBitset(n)
@@ -60,6 +65,7 @@ func FindBridges(g *graph.Graph) *BridgeInfo {
 		// STEP 2: for every non-tree edge {x, y}, climb to the LCA marking
 		// tree edges. Climbing alternates on the deeper endpoint so both
 		// walks meet exactly at the LCA.
+		markSpan := trace.Begin("lca-mark")
 		g.ForEachEdgePar(func(u, v int32) {
 			if tree.IsTreeEdge(u, v) {
 				return
@@ -74,6 +80,7 @@ func FindBridges(g *graph.Graph) *BridgeInfo {
 				x = tree.Parent[x]
 			}
 		})
+		markSpan.End()
 
 		// Unmarked tree edges are the bridges. Gather per chunk.
 		nc := par.NumChunks(n)
@@ -93,6 +100,8 @@ func FindBridges(g *graph.Graph) *BridgeInfo {
 		bi.parent = tree.Parent
 		bi.covered = covered
 	})
+	sp.Add("bridges", int64(len(bi.Bridges)))
+	sp.End()
 	return bi
 }
 
@@ -102,14 +111,21 @@ func FindBridges(g *graph.Graph) *BridgeInfo {
 // subgraph G_b of the bridge set B.
 func Bridge(g *graph.Graph) *Result {
 	r := &Result{Technique: TechBridge}
+	sp := trace.Begin("decomp/BRIDGE")
 	r.Elapsed = timed(func() {
 		bi := FindBridges(g)
 		r.Rounds = bi.Rounds
 		r.Bridges = bi.Bridges
+		mat := trace.Begin("materialize")
 		gc := graph.RemoveEdges(g, func(a, b int32) bool { return !bi.IsBridge(a, b) })
 		r.Parts = []*graph.Sub{graph.IdentitySub(gc)}
 		r.Cross = graph.EdgeInducedSubgraph(g, bi.IsBridge)
 		r.Label = make([]int32, g.NumVertices()) // all zero: the single G_c part
+		mat.End()
 	})
+	if trace.Enabled() {
+		traceResult(sp, r)
+	}
+	sp.End()
 	return r
 }

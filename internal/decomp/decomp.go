@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Technique identifies a decomposition strategy.
@@ -99,4 +100,18 @@ func timed(fn func()) time.Duration {
 	start := time.Now()
 	fn()
 	return time.Since(start)
+}
+
+// traceResult records a finished decomposition's shape counters on its
+// span: part/cross edge split, part count, and the parallel round count —
+// the quantities Figure 2 and the decomp-stats experiment report. Called
+// only when tracing is enabled.
+func traceResult(sp *trace.Span, r *Result) {
+	sp.Add("parts", int64(len(r.Parts)))
+	sp.Add("part_edges", r.PartEdges())
+	sp.Add("cross_edges", r.CrossEdges())
+	sp.Add("rounds", int64(r.Rounds))
+	if len(r.Bridges) > 0 {
+		sp.Add("bridges", int64(len(r.Bridges)))
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Indices of the two DEGk parts in Result.Parts.
@@ -27,6 +28,7 @@ func Degk(g *graph.Graph, k int) *Result {
 		panic(fmt.Sprintf("decomp: Degk with k=%d", k))
 	}
 	r := &Result{Technique: TechDegk}
+	sp := trace.Begin("decomp/DEGk")
 	r.Elapsed = timed(func() {
 		n := g.NumVertices()
 		label := make([]int32, n)
@@ -41,5 +43,9 @@ func Degk(g *graph.Graph, k int) *Result {
 		r.Label = label
 		r.Rounds = 1
 	})
+	if trace.Enabled() {
+		traceResult(sp, r)
+	}
+	sp.End()
 	return r
 }

@@ -3,6 +3,7 @@ package decomp
 import (
 	"repro/internal/graph"
 	"repro/internal/multilevel"
+	"repro/internal/trace"
 )
 
 // TechMultilevel identifies the matching-based multilevel partitioner
@@ -16,11 +17,16 @@ const TechMultilevel Technique = 100
 // measures exactly that with this decomposition.
 func Multilevel(g *graph.Graph, k int, seed uint64) *Result {
 	r := &Result{Technique: TechMultilevel}
+	sp := trace.Begin("decomp/MULTILEVEL")
 	r.Elapsed = timed(func() {
 		label, st := multilevel.Partition(g, k, seed, multilevel.Options{})
 		r.Parts, r.Cross = graph.PartitionByLabel(g, label, k)
 		r.Label = label
 		r.Rounds = st.Levels
 	})
+	if trace.Enabled() {
+		traceResult(sp, r)
+	}
+	sp.End()
 	return r
 }

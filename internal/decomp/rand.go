@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Rand runs the paper's Algorithm 2 (Dcmp_Rand): every vertex independently
@@ -21,6 +22,7 @@ func Rand(g *graph.Graph, k int, seed uint64) *Result {
 		panic(fmt.Sprintf("decomp: Rand with k=%d", k))
 	}
 	r := &Result{Technique: TechRand}
+	sp := trace.Begin("decomp/RAND")
 	r.Elapsed = timed(func() {
 		n := g.NumVertices()
 		label := make([]int32, n)
@@ -31,5 +33,9 @@ func Rand(g *graph.Graph, k int, seed uint64) *Result {
 		r.Label = label
 		r.Rounds = 1
 	})
+	if trace.Enabled() {
+		traceResult(sp, r)
+	}
+	sp.End()
 	return r
 }

@@ -1,3 +1,7 @@
+// Baselines: the paper's "comparison against prior published results"
+// tables — our GM/VB/LubyMIS/LMAX/EB against the figures reported for the
+// original implementations, normalized per edge.
+
 package harness
 
 import (

@@ -1,3 +1,7 @@
+// Experiments: runners for the paper's numbered tables and figures
+// (Table I/II, Figures 2-5) plus the ablation grids over decomposition
+// parameters (partition count, degree threshold, phase order).
+
 package harness
 
 import (

@@ -1,3 +1,6 @@
+// ExtBiconn: the beyond-the-paper extension comparing bridge-based
+// decomposition against full biconnected-component decomposition.
+
 package harness
 
 import (

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Config controls an experiment run.
@@ -175,12 +176,23 @@ func measure(cfg Config, g *graph.Graph, spec dataset.Spec, p core.Problem, s co
 
 	runs := make([]Cell, 0, cfg.Repeats)
 	for r := 0; r < cfg.Repeats; r++ {
+		sp := trace.Beginf("cell %s/%s/%s/%s", spec.Name, p, s, arch)
 		start := time.Now()
 		res, err := core.Solve(g, p, opt)
 		wall := time.Since(start)
 		if err != nil {
+			sp.End()
 			panic(fmt.Sprintf("harness: %s/%v/%v/%v: %v", spec.Name, p, s, arch, err))
 		}
+		if trace.Enabled() {
+			sp.Add("rounds", int64(res.Report.Rounds))
+			sp.Add("decomp_ns", int64(res.Report.Decomp))
+			sp.Add("solve_ns", int64(res.Report.Solve))
+			if arch == core.ArchGPU {
+				sp.Add("sim_ns", int64(res.Report.GPUStats.SimTime))
+			}
+		}
+		sp.End()
 		if cfg.Verify {
 			if err := core.Verify(g, res); err != nil {
 				panic(fmt.Sprintf("harness: verification failed on %s/%v/%v/%v: %v",

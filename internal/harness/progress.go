@@ -1,3 +1,6 @@
+// MMProgress and BFSAblation: per-round progress curves for the matching
+// algorithms (the "vain tendency" plot) and BFS implementation ablation.
+
 package harness
 
 import (

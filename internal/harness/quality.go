@@ -1,3 +1,6 @@
+// Quality: solution-quality comparison against sequential references —
+// matching size, color count, and independent-set size ratios.
+
 package harness
 
 import (

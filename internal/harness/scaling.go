@@ -1,3 +1,6 @@
+// Scaling: strong-scaling runs of the Table I winners across worker
+// counts, reported as speedup over the single-worker run.
+
 package harness
 
 import (

@@ -6,6 +6,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // mergeSub transfers a matching computed on a subgraph into the global mate
@@ -36,6 +37,10 @@ func solveOnUnmatched(global []int32, sub *graph.Sub, mm Algorithm) int {
 	})
 	local, st := mm(composed.G)
 	mergeSub(global, composed, local)
+	if trace.Enabled() {
+		trace.Add("rounds", int64(st.Rounds))
+		trace.Add("matched", st.Matched)
+	}
 	return st.Rounds
 }
 
@@ -44,18 +49,26 @@ func solveOnUnmatched(global []int32, sub *graph.Sub, mm Algorithm) int {
 // subgraph of the bridges induced by still-unmatched bridge vertices.
 func MMBridge(g *graph.Graph, mm Algorithm) (*Matching, Report) {
 	rep := Report{Strategy: "MM-Bridge"}
+	dsp := trace.Begin("decomp")
 	d := decomp.Bridge(g)
+	dsp.End()
 	rep.Decomp = d.Elapsed
 
 	start := time.Now()
 	m := NewMatching(g.NumVertices())
 	// M_c ← MM(G_c). G_c keeps global vertex ids, and its connected
 	// components are solved simultaneously by the parallel subroutine.
+	sp := trace.Begin("solve/parts")
 	mc, st := mm(d.Parts[0].G)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.Add("matched", st.Matched)
+	sp.End()
 	rep.Rounds += st.Rounds
 	mergeSub(m.Mate, d.Parts[0], mc)
 	// M_b ← MM(G_b[V']) on the unmatched bridge vertices.
+	sp = trace.Begin("solve/cross")
 	rep.Rounds += solveOnUnmatched(m.Mate, d.Cross, mm)
+	sp.End()
 	rep.Solve = time.Since(start)
 	return m, rep
 }
@@ -72,6 +85,7 @@ func MMRand(g *graph.Graph, k int, seed uint64, mm Algorithm) (*Matching, Report
 
 	// Decomposition: the labels, G_IS (same vertex set, intra-part edges),
 	// and the cross-edge subgraph G_{k+1}.
+	dsp := trace.Begin("decomp")
 	decompStart := time.Now()
 	label := make([]int32, n)
 	par.For(n, func(i int) {
@@ -80,15 +94,26 @@ func MMRand(g *graph.Graph, k int, seed uint64, mm Algorithm) (*Matching, Report
 	gis := graph.RemoveEdges(g, func(u, v int32) bool { return label[u] == label[v] })
 	cross := graph.EdgeInducedSubgraph(g, func(u, v int32) bool { return label[u] != label[v] })
 	rep.Decomp = time.Since(decompStart)
+	if trace.Enabled() {
+		dsp.Add("parts", int64(k))
+		dsp.Add("cross_edges", int64(cross.G.NumEdges()))
+	}
+	dsp.End()
 
 	start := time.Now()
 	m := NewMatching(n)
 	// M_IS ← MM(G_IS).
+	sp := trace.Begin("solve/parts")
 	mi, st := mm(gis)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.Add("matched", st.Matched)
+	sp.End()
 	rep.Rounds += st.Rounds
 	par.Copy(m.Mate, mi.Mate) // G_IS keeps global vertex ids
 	// M_{k+1} ← MM(G_{k+1}[V']).
+	sp = trace.Begin("solve/cross")
 	rep.Rounds += solveOnUnmatched(m.Mate, cross, mm)
+	sp.End()
 	rep.Solve = time.Since(start)
 	return m, rep
 }
@@ -102,21 +127,33 @@ func MMDegk(g *graph.Graph, k int, mm Algorithm) (*Matching, Report) {
 
 	// Decomposition: classify by degree, materialize G_H and G_LC = G_L ∪
 	// G_C (every edge with at least one low-degree endpoint).
+	dsp := trace.Begin("decomp")
 	decompStart := time.Now()
 	low := make([]bool, n)
 	par.For(n, func(i int) { low[i] = g.Degree(int32(i)) <= int32(k) })
 	gh := graph.RemoveEdges(g, func(u, v int32) bool { return !low[u] && !low[v] })
 	glc := graph.EdgeInducedSubgraph(g, func(u, v int32) bool { return low[u] || low[v] })
 	rep.Decomp = time.Since(decompStart)
+	if trace.Enabled() {
+		dsp.Add("parts", 2)
+		dsp.Add("cross_edges", int64(glc.G.NumEdges()))
+	}
+	dsp.End()
 
 	start := time.Now()
 	m := NewMatching(n)
 	// M_H ← MM(G_H).
+	sp := trace.Begin("solve/G_H")
 	mh, st := mm(gh)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.Add("matched", st.Matched)
+	sp.End()
 	rep.Rounds += st.Rounds
 	par.Copy(m.Mate, mh.Mate) // G_H kept global vertex ids
 	// M_LC ← MM(G_LC[V']).
+	sp = trace.Begin("solve/G_LC")
 	rep.Rounds += solveOnUnmatched(m.Mate, glc, mm)
+	sp.End()
 	rep.Solve = time.Since(start)
 	return m, rep
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // GM computes a maximal matching with the paper's multicore CPU baseline:
@@ -72,6 +73,10 @@ func GM(g *graph.Graph) (*Matching, Stats) {
 			return mate[v] == Unmatched && prop[v] != Unmatched
 		})
 		st.PerRound = append(st.PerRound, matched.Load())
+		if trace.Enabled() {
+			trace.Append("matched", matched.Load())
+			trace.Append("frontier", int64(len(active)))
+		}
 	}
 	st.Matched = matched.Load()
 	return m, st

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bsp"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // LMAX computes a maximal matching with the paper's GPU baseline
@@ -100,6 +101,10 @@ func LMAX(g *graph.Graph, machine *bsp.Machine, seed uint64) (*Matching, Stats) 
 		})
 		remaining -= droppedOut.Load()
 		st.PerRound = append(st.PerRound, matched.Load())
+		if trace.Enabled() {
+			trace.Append("matched", matched.Load())
+			trace.Append("frontier", remaining)
+		}
 	}
 	st.Matched = matched.Load()
 	return m, st

@@ -6,6 +6,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Order controls which side a two-phase decomposition algorithm solves
@@ -115,7 +116,9 @@ func MISBridge(g *graph.Graph, solver Solver) (*IndepSet, Report) {
 // MISBridgeOrdered is MISBridge with an explicit phase order (ablation).
 func MISBridgeOrdered(g *graph.Graph, solver Solver, ord Order) (*IndepSet, Report) {
 	rep := Report{Strategy: "MIS-Bridge"}
+	dsp := trace.Begin("decomp")
 	bi := decomp.FindBridges(g)
+	dsp.End()
 	rep.Decomp = bi.Elapsed
 
 	start := time.Now()
@@ -151,9 +154,15 @@ func MISBridgeOrdered(g *graph.Graph, solver Solver, ord Order) (*IndepSet, Repo
 	// among bridge endpoints — not only the bridges — or two endpoints
 	// joined by a non-bridge edge could both enter the set (the paper's
 	// sketch elides this; see DESIGN.md §5).
+	sp := trace.Begin("solve/masked")
 	st := maskedPhase(g, set, member, solver)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
+	sp = trace.Begin("solve/remainder")
 	st = remainderPhase(g, set, solver)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
 	rep.Solve = time.Since(start)
 	return set, rep
@@ -172,6 +181,7 @@ func MISRandOrdered(g *graph.Graph, k int, seed uint64, solver Solver, ord Order
 	n := g.NumVertices()
 
 	// Decomposition: the random labels plus the cross-edge classification.
+	dsp := trace.Begin("decomp")
 	decompStart := time.Now()
 	label := make([]int32, n)
 	par.For(n, func(i int) {
@@ -197,6 +207,7 @@ func MISRandOrdered(g *graph.Graph, k int, seed uint64, solver Solver, ord Order
 		partEdges = cnt / 2
 	}
 	rep.Decomp = time.Since(decompStart)
+	dsp.End()
 
 	start := time.Now()
 	set := NewIndepSet(n)
@@ -209,9 +220,15 @@ func MISRandOrdered(g *graph.Graph, k int, seed uint64, solver Solver, ord Order
 	par.For(n, func(i int) { member[i] = hasCross[i] != rep.SparserFirst })
 	// As in MISBridge, the cross-first phase is vertex-induced from G so
 	// intra-part edges between cross endpoints are respected.
+	sp := trace.Begin("solve/masked")
 	st := maskedPhase(g, set, member, solver)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
+	sp = trace.Begin("solve/remainder")
 	st = remainderPhase(g, set, solver)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
 	rep.Solve = time.Since(start)
 	return set, rep
@@ -240,16 +257,24 @@ func MISDeg2With(g *graph.Graph, solver, kp Solver) (*IndepSet, Report) {
 
 	// The decomposition is one classification pass — "a simple
 	// computation" per the paper's Figure 2 discussion.
+	dsp := trace.Begin("decomp")
 	decompStart := time.Now()
 	low := make([]bool, n)
 	par.For(n, func(i int) { low[i] = g.Degree(int32(i)) <= 2 })
 	rep.Decomp = time.Since(decompStart)
+	dsp.End()
 
 	start := time.Now()
 	set := NewIndepSet(n)
+	sp := trace.Begin("solve/G_L")
 	st := maskedPhase(g, set, low, kp)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
+	sp = trace.Begin("solve/remainder")
 	st = remainderPhase(g, set, solver)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
 	rep.Rounds += st.Rounds
 	rep.Solve = time.Since(start)
 	return set, rep

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Luby computes a maximal independent set with Luby's classic algorithm
@@ -142,6 +143,9 @@ func lubyRun(g *graph.Graph, seed uint64, exec func(n int, kernel func(i int)),
 			}
 		})
 		remaining -= decided.Load()
+		if trace.Enabled() {
+			trace.Append("frontier", remaining)
+		}
 	}
 	return st
 }
@@ -190,6 +194,9 @@ func greedyRun(g *graph.Graph, seed uint64, status []State, set *IndepSet, activ
 			}
 		})
 		active = par.Filter(active, func(v int32) bool { return status[v] == StateUndecided })
+		if trace.Enabled() {
+			trace.Append("frontier", int64(len(active)))
+		}
 	}
 	return st
 }

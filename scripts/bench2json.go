@@ -1,83 +1,81 @@
 //go:build ignore
 
-// bench2json converts `go test -bench` text output on stdin into a JSON
-// array on stdout (or the file named by -o). One object per benchmark
-// line: name, iterations, ns/op, and any extra metrics (B/op, allocs/op).
+// bench2json converts `go test -bench` text output on stdin into the
+// BENCH_*.json archive format, and gates regressions against an archived
+// baseline. The parsing and comparison logic lives in internal/benchfmt
+// (where it is unit-tested); this file is the command-line wrapper.
 //
-// Usage: go test -bench=... | go run scripts/bench2json.go -o BENCH.json
+// Convert (default mode) — one JSON object per benchmark line (name,
+// iterations, ns/op, extra metrics), teeing the raw log to stdout:
+//
+//	go test -bench=... | go run scripts/bench2json.go -o BENCH.json
+//
+// Compare mode — read a fresh run from stdin, diff it against a baseline
+// file, print the per-benchmark table, and exit non-zero when any
+// benchmark regressed past the threshold (improvements always pass;
+// repeats from -count=N are collapsed to the per-name minimum first):
+//
+//	go test -bench=... -count=3 | \
+//	  go run scripts/bench2json.go -compare BENCH_pr1.json -threshold 2
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-type result struct {
-	Name    string             `json:"name"`
-	Iters   int64              `json:"iterations"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file for JSON results (default stdout)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against (enables compare mode)")
+	threshold := flag.Float64("threshold", 2.0, "compare mode: max allowed slowdown in percent")
 	flag.Parse()
 
-	var results []result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line) // tee: keep the human-readable log visible
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		f := strings.Fields(line)
-		if len(f) < 4 || f[3] != "ns/op" {
-			continue
-		}
-		iters, err1 := strconv.ParseInt(f[1], 10, 64)
-		ns, err2 := strconv.ParseFloat(f[2], 64)
-		if err1 != nil || err2 != nil {
-			continue
-		}
-		r := result{Name: f[0], Iters: iters, NsPerOp: ns}
-		for i := 4; i+1 < len(f); i += 2 {
-			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
-				if r.Metrics == nil {
-					r.Metrics = map[string]float64{}
-				}
-				r.Metrics[f[i+1]] = v
-			}
-		}
-		results = append(results, r)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
-	}
-	if results == nil {
-		results = []result{} // emit [] rather than null when nothing parsed
+	fresh, err := benchfmt.Parse(os.Stdin, os.Stdout) // tee keeps the log visible
+	if err != nil {
+		fatal(err)
 	}
 
-	enc, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		os.Stdout.Write(enc)
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		baseline, err := benchfmt.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *compare, err))
+		}
+		c := benchfmt.Compare(baseline, fresh, *threshold)
+		fmt.Print(c.Render())
+		if c.Failed() {
+			os.Exit(1)
+		}
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
+
+	if *out == "" {
+		if err := benchfmt.WriteJSON(os.Stdout, fresh); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	fmt.Fprintf(os.Stderr, "bench2json: wrote %d results to %s\n", len(results), *out)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := benchfmt.WriteJSON(f, fresh); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d results to %s\n", len(fresh), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench2json:", err)
+	os.Exit(1)
 }
