@@ -3,7 +3,7 @@ GO ?= go
 # bench-gate: max allowed slowdown (percent) before the gate fails.
 GATE_THRESHOLD ?= 2
 
-.PHONY: build test race vet bench-smoke bench-gate bench-par fmt
+.PHONY: build test race vet bench-smoke bench-gate bench-par serve-demo fmt
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # Race check on the packages with lock-free hot paths: the parallel runtime
-# (pool dispatch, scratch arenas), graph construction (atomic scatter), and
-# the tracer (concurrent span begin/end under the global mutex).
+# (pool dispatch, scratch arenas), graph construction (atomic scatter), the
+# tracer (concurrent span begin/end under the global mutex), and the
+# telemetry registry (lock-free metric updates under concurrent scrapes).
 race:
-	$(GO) test -race ./internal/par/... ./internal/graph/... ./internal/trace/...
+	$(GO) test -race ./internal/par/... ./internal/graph/... ./internal/trace/... ./internal/telemetry/...
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +39,12 @@ bench-gate:
 bench-par:
 	$(GO) test -run='^$$' -bench='ForSpawn|RangeSkewed|ExclusiveSum32|FilterCompact' -benchtime=100x ./internal/par/
 	$(GO) test -run='^$$' -bench='BuilderFromEdges|PartitionByLabel' -benchtime=10x ./internal/graph/
+
+# Live-telemetry demo: a figure run with the HTTP server up for manual
+# inspection — curl localhost:9090/metrics, /trace, /debug/pprof/ while
+# it runs (use -repeats to stretch the run).
+serve-demo:
+	$(GO) run ./cmd/benchall -exp fig3 -repeats 3 -serve :9090
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

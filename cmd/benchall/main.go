@@ -13,10 +13,13 @@
 // ablation-bfs, baselines, ext-biconn, remark1, quality, scaling,
 // mm-progress, decomp-stats, rounds-phases, all.
 //
-// Observability: -trace prints a per-experiment span table on stderr and
-// -traceout FILE writes the same trees as JSON; -parstats prints the
-// parallel-runtime counters per experiment; -cpuprofile/-memprofile write
-// pprof profiles. See DESIGN.md § Observability.
+// Observability: -trace prints a per-experiment span table on stderr;
+// -traceout FILE writes the same trees as JSON and -chrometrace FILE as
+// Chrome trace-event JSON for Perfetto (both imply -trace); -parstats
+// prints the parallel-runtime counters per experiment;
+// -cpuprofile/-memprofile write pprof profiles; -serve ADDR runs a live
+// telemetry HTTP server (/metrics, /healthz, /trace, /debug/pprof/) for
+// the duration of the run. See DESIGN.md § Observability.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/harness"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -48,17 +52,41 @@ func main() {
 	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
 	parstats := flag.Bool("parstats", false, "collect and print parallel-runtime counters per experiment (pool dispatches, chunk steals, spawns avoided)")
 	traceOn := flag.Bool("trace", false, "collect phase/round traces and print a span table per experiment")
-	traceOut := flag.String("traceout", "", "with -trace: also write the traces as JSON to this file")
+	traceOut := flag.String("traceout", "", "write the traces as JSON to this file (implies -trace)")
+	chromeOut := flag.String("chrometrace", "", "write the traces as Chrome trace-event JSON for Perfetto to this file (implies -trace)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address for the duration of the run (/metrics, /healthz, /trace, /debug/pprof/)")
 	flag.Parse()
 
 	if *parstats {
 		par.EnableStats(true)
 		par.ResetStats()
 	}
+	// A trace output file without -trace would silently record nothing;
+	// asking for the file is asking for the trace.
+	if *traceOut != "" || *chromeOut != "" {
+		*traceOn = true
+	}
 	if *traceOn {
 		trace.Enable(true)
+	}
+	if *serve != "" {
+		telemetry.Enable(true)
+		par.EnableStats(true) // feed the par_pool_* gauges
+		// Keep the span tree live for the /trace endpoint. Without
+		// -trace the tree accumulates over the whole run (never reset),
+		// which is exactly what a mid-run snapshot wants.
+		trace.Enable(true)
+		srv, err := telemetry.Serve(*serve, telemetry.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		sampler := telemetry.StartRuntimeSampler(telemetry.Default, time.Second)
+		defer sampler.Stop()
+		fmt.Fprintf(os.Stderr, "benchall: telemetry on %s/metrics\n", srv.URL())
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -228,6 +256,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchall: wrote %d traces to %s\n", len(traces), *traceOut)
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		trees := make([]trace.Export, len(traces))
+		for i, t := range traces {
+			trees[i] = t.Trace
+		}
+		if err := trace.ExportChromeTrace(f, trees...); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchall: wrote Chrome trace (%d experiments) to %s — open in https://ui.perfetto.dev\n",
+			len(trees), *chromeOut)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

@@ -7,15 +7,23 @@
 //	symbreak -problem mis -strategy degk lp1
 //	symbreak -problem mm -strategy rand -arch gpu rgg-n-2-23-s0
 //	symbreak -problem color -strategy auto -file graph.txt
+//	symbreak -problem mm lp1 -serve :9090   # live /metrics + /trace + pprof
+//
+// With -serve the process keeps serving after the solve completes (until
+// interrupted) so the run's span tree and profiles can be inspected.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -27,7 +35,22 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	file := flag.String("file", "", "read a graph from a file (edge list, or METIS for .graph/.metis)")
+	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (/metrics, /healthz, /trace, /debug/pprof/); keeps serving after the solve until interrupted")
 	flag.Parse()
+
+	var srv *telemetry.Server
+	if *serve != "" {
+		telemetry.Enable(true)
+		trace.Enable(true)
+		var err error
+		srv, err = telemetry.Serve(*serve, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		sampler := telemetry.StartRuntimeSampler(telemetry.Default, time.Second)
+		defer sampler.Stop()
+		fmt.Fprintf(os.Stderr, "symbreak: telemetry on %s/metrics\n", srv.URL())
+	}
 
 	g, err := cli.LoadGraph(*file, flag.Args(), *scale, *seed)
 	if err != nil {
@@ -75,6 +98,16 @@ func main() {
 		fmt.Printf("coloring:   %d colors (verified proper)\n", res.Coloring.NumColors())
 	case res.IndepSet != nil:
 		fmt.Printf("mis:        %d vertices (verified maximal)\n", res.IndepSet.Size())
+	}
+
+	if srv != nil {
+		// Keep the endpoints up for inspection: the span tree of the
+		// solve stays live on /trace and profiles on /debug/pprof/.
+		fmt.Fprintf(os.Stderr, "symbreak: serving on %s — Ctrl-C to exit\n", srv.URL())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		srv.Close()
 	}
 }
 

@@ -27,7 +27,8 @@
 //	internal/multilevel matching-based k-way partitioner (METIS stand-in)
 //	internal/seq        sequential greedy references
 //	internal/harness    experiment grid runner and table/figure formatters
-//	internal/trace      phase/round span tracing (zero-cost when disabled)
+//	internal/trace      phase/round span tracing (zero-cost when disabled) + Perfetto export
+//	internal/telemetry  live metrics registry, samplers, /metrics + pprof HTTP server
 //	internal/benchfmt   go test -bench output parsing + regression compare
 //	internal/cli        shared command-line plumbing
 //	cmd/benchall        regenerate every table and figure

@@ -20,7 +20,25 @@ import (
 	"time"
 
 	"repro/internal/par"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
+)
+
+// Live telemetry published per kernel launch when telemetry.Enable(true)
+// (the -serve wiring): the per-superstep timing distribution plus launch
+// and logical-thread totals. Handles are hoisted so the Launch hot path
+// pays one atomic load plus lock-free metric updates.
+var (
+	kernelSeconds = telemetry.Default.Histogram(
+		"bsp_kernel_seconds",
+		"Host wall-clock time per virtual-GPU kernel launch (one bulk-synchronous superstep).",
+		nil)
+	launchesTotal = telemetry.Default.Counter(
+		"bsp_launches_total",
+		"Virtual-GPU kernel launches (bulk-synchronous supersteps executed).")
+	threadsTotal = telemetry.Default.Counter(
+		"bsp_threads_total",
+		"Logical threads run across virtual-GPU kernel launches.")
 )
 
 // DefaultLaunchOverhead is the simulated fixed cost per kernel launch.
@@ -90,6 +108,11 @@ func (m *Machine) Launch(n int, kernel func(tid int)) {
 		trace.Add("gpu_launches", 1)
 		trace.Add("gpu_threads", int64(n))
 		trace.Add("gpu_kernel_ns", int64(elapsed))
+	}
+	if telemetry.Enabled() {
+		kernelSeconds.Observe(elapsed.Seconds())
+		launchesTotal.Inc()
+		threadsTotal.Add(float64(n))
 	}
 }
 

@@ -1,0 +1,311 @@
+// Package telemetry is the live half of the observability layer: a
+// concurrent metrics registry (counters, gauges, fixed-bucket histograms
+// with quantile estimation), background samplers that poll Go runtime and
+// par worker-pool statistics onto gauges, and an embedded HTTP server
+// exposing Prometheus text-format /metrics, /healthz, /debug/pprof/*, and
+// a live /trace JSON snapshot of the internal/trace span tree.
+//
+// Where internal/trace answers "where did the time of this finished run
+// go", telemetry answers "what is the process doing right now": the
+// harness publishes per-cell decomposition/solve latencies into
+// histograms keyed by {problem, algo, arch, graph}, the bsp machine
+// publishes per-superstep kernel timings, and the samplers keep heap, GC,
+// goroutine, and pool-scheduler gauges fresh while a run is in flight.
+// cmd/benchall and cmd/symbreak wire the layer to the command line
+// (-serve ADDR); see DESIGN.md § Observability.
+//
+// Publication is opt-in, mirroring trace: Enable(true) switches recording
+// on, and instrumented call sites gate on Enabled() — one atomic load —
+// so solvers pay nothing when no server is running. Metric values
+// themselves are lock-free (atomics); the registry mutex is touched only
+// on metric creation and exposition.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates the instrumented call sites in harness and bsp. The
+// registry itself always works; this flag only decides whether hot paths
+// bother to record.
+var enabled atomic.Bool
+
+// Enable switches telemetry publication on or off. Off (the default)
+// makes every instrumented call site a no-op after one atomic load.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether telemetry publication is on.
+func Enabled() bool { return enabled.Load() }
+
+// Default is the process-global registry. The HTTP server, the samplers,
+// and the harness/bsp instrumentation all use it; libraries that want an
+// isolated namespace can create their own with NewRegistry.
+var Default = NewRegistry()
+
+// DefBuckets are the default latency buckets in seconds: exponential from
+// 10µs to 10s, matched to the paper's cell-time range (decompositions in
+// the tens of microseconds on small instances up to multi-second solves
+// at scale).
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds metric families keyed by name. All methods are safe for
+// concurrent use. Creation (CounterVec etc.) locks the registry; the
+// returned metric handles update via atomics only.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family is one named metric family: a type, a help string, a label
+// schema, and one child metric per observed label-value combination.
+type family struct {
+	name       string
+	help       string
+	typ        string // "counter", "gauge", "histogram"
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any // labelKey -> *Counter | *Gauge | *Histogram
+}
+
+// labelKey joins label values with a separator that cannot appear in a
+// validated label value.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// lookup returns the family registered under name, creating it with the
+// given schema on first use. Re-registering with a different type or
+// label arity panics: it is always a programming error.
+func (r *Registry) lookup(name, help, typ string, labelNames []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labelNames), f.typ, len(f.labelNames)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelNames: labelNames, buckets: buckets,
+		children: map[string]any{},
+	}
+	r.families[name] = f
+	return f
+}
+
+// child returns the metric for the given label values, creating it with
+// make on first use. Panics if the arity does not match the schema.
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	return c
+}
+
+// Counter is a monotonically increasing value. Updates are lock-free.
+type Counter struct {
+	labels []string
+	bits   atomic.Uint64 // float64 bits
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates v. Negative deltas are a caller bug for counters; they
+// are applied as-is (the exposition does not police monotonicity).
+func (c *Counter) Add(v float64) { atomicAddFloat(&c.bits, v) }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an arbitrary value that can go up and down.
+type Gauge struct {
+	labels []string
+	bits   atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates v (negative to subtract).
+func (g *Gauge) Add(v float64) { atomicAddFloat(&g.bits, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicAddFloat adds v to a float64 stored as uint64 bits via CAS.
+func atomicAddFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus a
+// running sum and total count. Observe is lock-free; concurrent readers
+// (exposition, Quantile) see a near-consistent snapshot — bucket counts
+// and the sum may momentarily disagree by in-flight observations, which
+// Prometheus scraping tolerates by design.
+type Histogram struct {
+	labels  []string
+	buckets []float64 // sorted upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(labels []string, buckets []float64) *Histogram {
+	return &Histogram{
+		labels:  labels,
+		buckets: buckets,
+		counts:  make([]atomic.Uint64, len(buckets)+1), // +1 for +Inf
+	}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	h.counts[i].Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	h.count.Add(1)
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank — the classic
+// histogram_quantile estimate. Returns NaN with no observations. Values
+// landing in the +Inf overflow bucket clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i >= len(h.buckets) { // overflow bucket: clamp
+				return h.buckets[len(h.buckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.buckets[i-1]
+			}
+			hi := h.buckets[i]
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, "counter", labelNames, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Handles are cached: repeated calls with equal values return
+// the same *Counter, so hot paths may (and should) hoist the handle.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues, func() any {
+		return &Counter{labels: append([]string(nil), labelValues...)}
+	}).(*Counter)
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, "gauge", labelNames, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() any {
+		return &Gauge{labels: append([]string(nil), labelValues...)}
+	}).(*Gauge)
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family with the
+// given upper bounds (nil = DefBuckets). Bounds must be sorted ascending;
+// an implicit +Inf bucket is appended.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("telemetry: histogram buckets must be sorted ascending: " + name)
+	}
+	return &HistogramVec{r.lookup(name, help, "histogram", labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues, func() any {
+		return newHistogram(append([]string(nil), labelValues...), v.f.buckets)
+	}).(*Histogram)
+}
+
+// Histogram registers (or returns) an unlabeled histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}

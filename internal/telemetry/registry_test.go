@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Same name returns the same underlying metric.
+	if again := r.Counter("requests_total", "Requests."); again.Value() != 3.5 {
+		t.Fatalf("re-registered counter lost state: %v", again.Value())
+	}
+
+	g := r.Gauge("depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestVecChildCaching(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cells_total", "Cells.", "problem", "arch")
+	a := v.With("MM", "CPU")
+	b := v.With("MM", "CPU")
+	if a != b {
+		t.Fatal("same label values must return the same child")
+	}
+	other := v.With("MM", "GPU")
+	if a == other {
+		t.Fatal("different label values must return distinct children")
+	}
+	a.Inc()
+	if other.Value() != 0 {
+		t.Fatal("children must not share state")
+	}
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "X.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity must panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "first registration wins")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dual", "conflicting type")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 0.2, 0.5, 1})
+	// 10 observations evenly through [0, 1): one per decile.
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	if got, want := h.Sum(), 4.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Bucket occupancy: (-inf,0.1]=2 {0,0.1}, (0.1,0.2]=1 {0.2},
+	// (0.2,0.5]=3 {0.3,0.4,0.5}, (0.5,1]=4 {0.6..0.9}.
+	wantCounts := []uint64{2, 1, 3, 4, 0}
+	for i, w := range wantCounts {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+	// The median rank (5 of 10) lands in the (0.2, 0.5] bucket; linear
+	// interpolation puts it between the bounds.
+	if q := h.Quantile(0.5); q <= 0.2 || q > 0.5 {
+		t.Fatalf("p50 = %v, want within (0.2, 0.5]", q)
+	}
+	if q := h.Quantile(1); q != 1 {
+		t.Fatalf("p100 = %v, want 1 (top finite bound)", q)
+	}
+	if q := h.Quantile(0); math.IsNaN(q) {
+		t.Fatalf("p0 on a populated histogram must not be NaN")
+	}
+}
+
+func TestHistogramOverflowClamps(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("big_seconds", "Latency.", []float64{1, 2})
+	h.Observe(100) // +Inf bucket
+	if q := h.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", q)
+	}
+}
+
+func TestEmptyHistogramQuantileNaN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_seconds", "Latency.", nil)
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("quantile of empty histogram = %v, want NaN", q)
+	}
+}
+
+func TestUnsortedBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted buckets must panic")
+		}
+	}()
+	r.Histogram("bad", "B.", []float64{2, 1})
+}
+
+// TestConcurrentRegistry hammers creation, updates, and exposition from
+// many goroutines at once — the -race check for the lock-free value paths
+// and the creation/exposition locking.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ops_total", "Ops.", "kind")
+	hv := r.HistogramVec("op_seconds", "Op latency.", nil, "kind")
+	g := r.Gauge("level", "Level.")
+	kinds := []string{"a", "b", "c", "d"}
+
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := kinds[w%len(kinds)]
+			for i := 0; i < perWorker; i++ {
+				cv.With(kind).Inc()
+				hv.With(kind).Observe(float64(i) * 1e-5)
+				g.Add(1)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total float64
+	for _, k := range kinds {
+		total += cv.With(k).Value()
+	}
+	if total != workers*perWorker {
+		t.Fatalf("counters sum to %v, want %d", total, workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+}

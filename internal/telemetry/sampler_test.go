@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPopulatesGauges(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, 100*time.Millisecond)
+	defer s.Stop()
+
+	// The sampler samples once synchronously before returning, so the
+	// gauges are live immediately.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"go_goroutines ", "go_heap_alloc_bytes ", "go_gc_pause_seconds_total ",
+		"par_workers ", "par_pool_tasks_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sampler exposition missing %q:\n%s", want, out)
+		}
+	}
+	if g := r.Gauge("go_goroutines", ""); g.Value() < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", g.Value())
+	}
+	if g := r.Gauge("par_workers", ""); g.Value() < 1 {
+		t.Fatalf("par_workers = %v, want >= 1", g.Value())
+	}
+}
+
+func TestSamplerStopIdempotent(t *testing.T) {
+	s := StartRuntimeSampler(NewRegistry(), time.Second)
+	s.Stop()
+	s.Stop() // must not panic or deadlock
+}
+
+func TestEnableGate(t *testing.T) {
+	was := Enabled()
+	defer Enable(was)
+	Enable(false)
+	if Enabled() {
+		t.Fatal("Enabled() = true after Enable(false)")
+	}
+	Enable(true)
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Enable(true)")
+	}
+}

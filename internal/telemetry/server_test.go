@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// startTestServer binds a throwaway port and tears the server down with
+// the test.
+func startTestServer(t *testing.T, r *Registry) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv := startTestServer(t, NewRegistry())
+	code, body := get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("symbreak_cell_seconds", "Cell time.", nil,
+		"problem", "algo", "arch", "graph")
+	h.With("MM", "MM-Rand", "CPU", "lp1").Observe(0.002)
+	r.Gauge("go_goroutines", "Goroutines.").Set(12)
+
+	srv := startTestServer(t, r)
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE symbreak_cell_seconds histogram",
+		`symbreak_cell_seconds_bucket{problem="MM",algo="MM-Rand",arch="CPU",graph="lp1",le="+Inf"} 1`,
+		`symbreak_cell_seconds_sum{problem="MM",algo="MM-Rand",arch="CPU",graph="lp1"} 0.002`,
+		`symbreak_cell_seconds_count{problem="MM",algo="MM-Rand",arch="CPU",graph="lp1"} 1`,
+		"go_goroutines 12",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServerTraceSnapshot(t *testing.T) {
+	was := trace.Enabled()
+	trace.Enable(true)
+	trace.Reset()
+	defer func() {
+		trace.Enable(was)
+		trace.Reset()
+	}()
+	sp := trace.Begin("live-phase")
+	sp.Add("rounds", 4)
+
+	srv := startTestServer(t, NewRegistry())
+	code, body := get(t, srv.URL()+"/trace")
+	sp.End()
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var e trace.Export
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("/trace is not valid Export JSON: %v\n%s", err, body)
+	}
+	live := e.Find("live-phase")
+	if live == nil {
+		t.Fatalf("/trace missing the open span:\n%s", body)
+	}
+	if live.Counter("rounds") != 4 {
+		t.Fatalf("open span counters not live: %+v", live)
+	}
+	if live.DurNs <= 0 {
+		t.Fatalf("open span must export elapsed-so-far time, got %d", live.DurNs)
+	}
+}
+
+func TestServerPprofIndex(t *testing.T) {
+	srv := startTestServer(t, NewRegistry())
+	code, body := get(t, srv.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d, want the profile index", code)
+	}
+	// A concrete profile endpoint must stream too.
+	code, _ = get(t, srv.URL()+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/goroutine = %d", code)
+	}
+}

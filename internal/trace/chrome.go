@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// This file converts span trees to the Chrome trace-event format (the
+// JSON Array/Object format documented in the Trace Event Format spec), so
+// a benchall -traceout tree opens directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing:
+//
+//   - each Export passed to ExportChromeTrace becomes one process (pid),
+//     named by a process_name metadata event — benchall passes one tree
+//     per experiment, so experiments appear as separate process tracks;
+//   - spans become complete events (ph "X") with microsecond ts/dur,
+//     nested by their real timestamps, carrying their counters in args;
+//   - per-round series become counter events (ph "C") — one track per
+//     series name, its samples spread evenly across the owning span, so
+//     frontier/matched progressions render as scrubable area charts under
+//     the span that produced them.
+//
+// Timestamps are normalized: the earliest span start across all trees is
+// ts 0. Trees that predate StartNs (older -traceout files re-exported
+// through this API) fall back to sequential child layout inside the
+// parent, which preserves ordering and durations but not gaps.
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// trace-event spec; ts and dur are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON Object format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ExportChromeTrace writes the trees in Chrome trace-event JSON. Each
+// tree becomes its own process track, named by the tree's root Name.
+func ExportChromeTrace(w io.Writer, trees ...Export) error {
+	epoch := int64(math.MaxInt64)
+	var findEpoch func(e Export)
+	findEpoch = func(e Export) {
+		if e.StartNs > 0 && e.StartNs < epoch {
+			epoch = e.StartNs
+		}
+		for _, c := range e.Children {
+			findEpoch(c)
+		}
+	}
+	for _, t := range trees {
+		findEpoch(t)
+	}
+	if epoch == math.MaxInt64 {
+		epoch = 0
+	}
+
+	var events []chromeEvent
+	for i, t := range trees {
+		pid := i + 1
+		name := t.Name
+		if name == "" {
+			name = "trace"
+		}
+		events = append(events,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: 1,
+				Args: map[string]any{"name": "spans"}},
+		)
+		events = appendSpanEvents(events, t, pid, epoch, 0)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// appendSpanEvents emits e and its subtree for process pid. fallbackNs is
+// the epoch-relative start to assume when e carries no StartNs (laid out
+// sequentially after its preceding siblings).
+func appendSpanEvents(events []chromeEvent, e Export, pid int, epoch, fallbackNs int64) []chromeEvent {
+	startNs := fallbackNs
+	if e.StartNs > 0 {
+		startNs = e.StartNs - epoch
+	}
+	ev := chromeEvent{
+		Name: e.Name,
+		Ph:   "X",
+		Ts:   toMicros(startNs),
+		Dur:  toMicros(e.DurNs),
+		Pid:  pid,
+		Tid:  1,
+	}
+	if len(e.Counters) > 0 {
+		ev.Args = map[string]any{}
+		for _, k := range sortedKeys(e.Counters) {
+			ev.Args[k] = e.Counters[k]
+		}
+	}
+	events = append(events, ev)
+
+	// Series → counter tracks: n samples spread evenly across the span.
+	for _, k := range sortedKeys(e.Series) {
+		vals := e.Series[k]
+		if len(vals) == 0 {
+			continue
+		}
+		step := e.DurNs / int64(len(vals))
+		for i, v := range vals {
+			events = append(events, chromeEvent{
+				Name: k,
+				Ph:   "C",
+				Ts:   toMicros(startNs + int64(i)*step),
+				Pid:  pid,
+				Tid:  0,
+				Args: map[string]any{k: v},
+			})
+		}
+	}
+
+	childFallback := startNs
+	for _, c := range e.Children {
+		events = appendSpanEvents(events, c, pid, epoch, childFallback)
+		childFallback += c.DurNs
+	}
+	return events
+}
+
+// toMicros converts nanoseconds to the spec's microsecond unit, keeping
+// sub-microsecond precision as a fraction.
+func toMicros(ns int64) float64 { return float64(ns) / 1e3 }

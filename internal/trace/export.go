@@ -15,6 +15,11 @@ import (
 type Export struct {
 	// Name is the span name ("cell lp1/MM/RAND/CPU", "decomp", ...).
 	Name string `json:"name"`
+	// StartNs is the span's wall-clock start in Unix nanoseconds (0 for
+	// the synthetic root, which is never timed). Absolute rather than
+	// parent-relative so ExportChromeTrace can place spans — and the gaps
+	// between them — on a real timeline.
+	StartNs int64 `json:"start_ns,omitempty"`
 	// DurNs is the span wall time in nanoseconds.
 	DurNs int64 `json:"dur_ns"`
 	// Counters are the span's named accumulators.
@@ -70,8 +75,11 @@ func Snapshot() Export {
 // export copies a span subtree. Caller holds mu.
 func export(s *Span) Export {
 	e := Export{Name: s.name, DurNs: int64(s.dur)}
-	if !s.done && !s.start.IsZero() {
-		e.DurNs = int64(time.Since(s.start))
+	if !s.start.IsZero() {
+		e.StartNs = s.start.UnixNano()
+		if !s.done {
+			e.DurNs = int64(time.Since(s.start))
+		}
 	}
 	if len(s.counters) > 0 {
 		e.Counters = make(map[string]int64, len(s.counters))

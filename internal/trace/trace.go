@@ -90,22 +90,29 @@ func Begin(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
+	return begin(name)
+}
+
+// Beginf is Begin with a formatted name; the format runs only when
+// collection is on, so disabled call sites pay no fmt cost beyond the
+// variadic call itself. Enabled-ness is checked exactly once — Beginf
+// does not route through Begin's own load.
+func Beginf(format string, args ...any) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return begin(fmt.Sprintf(format, args...))
+}
+
+// begin records the span unconditionally; callers have already checked
+// enabled (exactly one atomic load on the hot path).
+func begin(name string) *Span {
 	mu.Lock()
 	defer mu.Unlock()
 	sp := &Span{name: name, parent: cur, start: time.Now()}
 	cur.children = append(cur.children, sp)
 	cur = sp
 	return sp
-}
-
-// Beginf is Begin with a formatted name; the format runs only when
-// collection is on, so disabled call sites pay no fmt cost beyond the
-// variadic call itself.
-func Beginf(format string, args ...any) *Span {
-	if !enabled.Load() {
-		return nil
-	}
-	return Begin(fmt.Sprintf(format, args...))
 }
 
 // End closes the span, recording its wall time. The current span pops to

@@ -172,6 +172,69 @@ func TestConcurrentSpans(t *testing.T) {
 	})
 }
 
+// TestConcurrentSnapshotHammer runs writers (Begin/End/Add/Append via
+// both Begin and Beginf) against concurrent readers calling Snapshot —
+// the -race check that exposition (the /trace endpoint snapshots live
+// trees) cannot tear the structures it copies.
+func TestConcurrentSnapshotHammer(t *testing.T) {
+	withTracing(t, func() {
+		const writers = 6
+		const readers = 2
+		const perWorker = 300
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					sp := Beginf("w%d-span", w)
+					sp.Add("n", 1)
+					Add("global", 1)
+					Append("tick", int64(i))
+					sp.End()
+				}
+			}(w)
+		}
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					snap := Snapshot()
+					// The copy must be internally consistent enough to
+					// walk and re-walk.
+					_ = snap.ChildSum()
+					_ = snap.Find("w0-span")
+				}
+			}()
+		}
+		wg.Wait()
+		snap := Snapshot()
+		var n int64
+		var walk func(e Export)
+		walk = func(e Export) {
+			n += e.Counter("n")
+			for _, c := range e.Children {
+				walk(c)
+			}
+		}
+		walk(snap)
+		if n != writers*perWorker {
+			t.Fatalf("per-span counters sum to %d, want %d", n, writers*perWorker)
+		}
+	})
+}
+
+func TestBeginfFormatsWhenEnabled(t *testing.T) {
+	withTracing(t, func() {
+		sp := Beginf("cell %s/%d", "lp1", 7)
+		sp.End()
+		if snap := Snapshot(); snap.Find("cell lp1/7") == nil {
+			t.Fatalf("Beginf did not format the span name: %+v", snap.Children)
+		}
+	})
+}
+
 func TestOutOfOrderEnd(t *testing.T) {
 	withTracing(t, func() {
 		a := Begin("a")
