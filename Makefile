@@ -3,7 +3,7 @@ GO ?= go
 # bench-gate: max allowed slowdown (percent) before the gate fails.
 GATE_THRESHOLD ?= 2
 
-.PHONY: build test race vet bench-smoke bench-gate bench-par serve-demo fmt
+.PHONY: build test race vet lint bench-smoke bench-gate bench-par serve-demo fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,24 @@ test:
 # (pool dispatch, scratch arenas), graph construction (atomic scatter), the
 # tracer (concurrent span begin/end under the global mutex), and the
 # telemetry registry (lock-free metric updates under concurrent scrapes).
+# bsp and harness are included because both publish metrics concurrently:
+# every bsp kernel launch observes bsp_kernel_seconds and bumps the launch/
+# thread counters from whatever goroutine ran the superstep while a scrape
+# may be reading them, and the harness publishes the per-cell histograms
+# (symbreak_*_seconds) during runs whose solvers still have pool workers
+# in flight — the racy interleavings only these packages exercise.
 race:
-	$(GO) test -race ./internal/par/... ./internal/graph/... ./internal/trace/... ./internal/telemetry/...
+	$(GO) test -race ./internal/par/... ./internal/graph/... ./internal/trace/... \
+		./internal/telemetry/... ./internal/bsp/... ./internal/harness/...
 
 vet:
 	$(GO) vet ./...
+
+# symlint: the repository's own go/analysis-style suite (internal/lint)
+# enforcing determinism, trace-pairing and parallel-runtime invariants.
+# Zero findings required; see DESIGN.md § Static analysis.
+lint:
+	$(GO) run ./cmd/symlint ./...
 
 # Quick end-to-end benchmark smoke: one iteration of the paper-figure
 # benchmarks, archived as JSON for cross-PR regression comparison.
@@ -48,3 +61,11 @@ serve-demo:
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)
+
+# fmt-check: the CI-facing mode of fmt — list unformatted files and fail
+# instead of rewriting them.
+fmt-check:
+	@unformatted=$$(gofmt -l $$($(GO) list -f '{{.Dir}}' ./...)); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

@@ -1,0 +1,100 @@
+// Command symlint runs the repository's static-analysis suite
+// (internal/lint): determinism, trace-pairing and parallel-runtime
+// invariant checks over Go package patterns.
+//
+// Standalone:
+//
+//	symlint [-json] [-C dir] [packages...]      # default pattern ./...
+//
+// Findings print as file:line:col: [analyzer] message, one per line, and
+// the exit status is 1 when anything was found. -json emits the findings
+// as a JSON array instead. -list prints the suite with each analyzer's
+// doc line and scope.
+//
+// The command also speaks the `go vet -vettool` protocol (version and
+// flag probes plus the per-package .cfg mode), so
+//
+//	go build -o /tmp/symlint ./cmd/symlint
+//	go vet -vettool=/tmp/symlint ./...
+//
+// runs the same suite under the vet harness with its caching.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// go vet -vettool probes: version (cache key), supported flags, and
+	// the per-package config mode. These arrive before flag parsing.
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full" || os.Args[1] == "-V":
+			fmt.Printf("symlint version 1 symbreak-invariants\n")
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println(lint.VetFlagsJSON)
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(lint.VetUnit(os.Args[1]))
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			if len(a.Scope) > 0 {
+				fmt.Printf("             scope: %s\n", strings.Join(a.Scope, " "))
+			}
+			if len(a.Exclude) > 0 {
+				fmt.Printf("             exempt: %s\n", strings.Join(a.Exclude, " "))
+			}
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := lint.Run(pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "symlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -30,12 +30,14 @@
 //	internal/trace      phase/round span tracing (zero-cost when disabled) + Perfetto export
 //	internal/telemetry  live metrics registry, samplers, /metrics + pprof HTTP server
 //	internal/benchfmt   go test -bench output parsing + regression compare
+//	internal/lint       symlint analyzers: determinism / trace / runtime invariants
 //	internal/cli        shared command-line plumbing
 //	cmd/benchall        regenerate every table and figure
 //	cmd/symbreak        solve one problem on one instance
 //	cmd/decomp          run one decomposition
 //	cmd/graphgen        write dataset instances to edge-list files
 //	cmd/graphstat       Table II statistics
+//	cmd/symlint         static-analysis driver (standalone or go vet -vettool)
 //	scripts/            bench2json.go: bench → JSON conversion + regression gate
 //	examples/           quickstart + four domain scenarios
 //

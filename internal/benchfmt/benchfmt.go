@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -158,8 +158,8 @@ func Compare(baseline, fresh []Result, thresholdPct float64) Comparison {
 			c.MissingFresh = append(c.MissingFresh, name)
 		}
 	}
-	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
-	sort.Strings(c.MissingFresh)
+	slices.SortFunc(c.Deltas, func(a, b Delta) int { return strings.Compare(a.Name, b.Name) })
+	slices.Sort(c.MissingFresh)
 	return c
 }
 

@@ -125,9 +125,7 @@ func (jp *JP) Repair(g *graph.Graph, color []int32, work []int32) Stats {
 				if !ready[v] {
 					continue
 				}
-				for k := range forbidden {
-					delete(forbidden, k)
-				}
+				clear(forbidden)
 				for _, w := range g.Neighbors(v) {
 					if cw := color[w]; cw != Uncolored {
 						forbidden[cw] = true

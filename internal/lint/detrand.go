@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Detrand flags nondeterministic randomness in kernels: calls to the
+// stateful process-global math/rand source (rand.Intn, rand.Float64,
+// rand.Shuffle, ...), and seeds derived from time.Now. Kernels must draw
+// from par.Hash64/par.RNG or a *rand.Rand explicitly constructed from a
+// seed that flows in from harness config, so every run — and every point
+// of a worker-count sweep — replays bit-identically.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid the global math/rand source and time-derived seeds in kernels",
+	Run:  runDetrand,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors build a generator from an explicit seed or source;
+// they are the sanctioned way to make a *rand.Rand when the seed comes
+// from config (time-derived seeds are still caught separately).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+func runDetrand(p *Pass) error {
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			pkg, name, ok := calleePkgFunc(p.Info, call)
+			if !ok {
+				return
+			}
+			if randPkgs[pkg] && !randConstructors[name] {
+				p.Reportf(call.Pos(),
+					"global math/rand source: %s.%s draws from shared process-wide state; thread a seeded *rand.Rand or par.Hash64 from harness config instead", pkg, name)
+			}
+			if pkg == "time" && name == "Now" {
+				for _, anc := range stack {
+					enc, isCall := anc.(*ast.CallExpr)
+					if !isCall {
+						continue
+					}
+					if ep, _, eok := calleePkgFunc(p.Info, enc); eok && randPkgs[ep] {
+						p.Reportf(call.Pos(),
+							"rand seed derived from time.Now: seeds must flow from harness config so runs replay deterministically")
+						break
+					}
+				}
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrange flags `range` over a map in result-producing solver code. Go
+// randomizes map iteration order, so any such loop whose body does not
+// commute makes output depend on the schedule — exactly what the
+// determinism sweep (DESIGN.md) promises cannot happen. Loops whose body
+// provably commutes (pure accumulation into an order-insensitive value)
+// may be annotated `//lint:commutative` on the line of, or above, the
+// range statement.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "forbid map iteration in result-producing solver code unless annotated //lint:commutative",
+	Run:  runDetrange,
+}
+
+func runDetrange(p *Pass) error {
+	commutative := p.directiveLines("lint:commutative", "")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pos := p.Fset.Position(rs.Pos())
+			if commutative[lineKey{pos.Filename, pos.Line}] {
+				return true
+			}
+			p.Reportf(rs.Pos(),
+				"map iteration order is nondeterministic: ranging over %s in result-producing code; iterate a sorted key slice, or annotate the loop //lint:commutative if every iteration commutes",
+				types.TypeString(tv.Type, types.RelativeTo(p.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

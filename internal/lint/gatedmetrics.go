@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Gatedmetrics checks that every telemetry publication — a call to a
+// metric's Inc/Add/Set/Observe or a vec's With lookup — happens under a
+// telemetry.Enabled() guard, so disabled runs pay exactly one atomic load
+// per instrumented site and benchmark numbers are not polluted by metric
+// maintenance. A site is guarded when it is lexically inside an if whose
+// condition checks Enabled(), when the enclosing function opens with an
+// `if !telemetry.Enabled() { return }` early exit, or when every caller
+// (within the package) of the unexported enclosing function is itself
+// guarded — the publishCell pattern, where one guarded call site feeds a
+// helper that publishes several metrics.
+var Gatedmetrics = &Analyzer{
+	Name: "gatedmetrics",
+	Doc:  "telemetry publications (Inc/Add/Set/Observe/With) must be gated on telemetry.Enabled()",
+	Run:  runGatedmetrics,
+}
+
+var publicationMethods = map[string]bool{
+	"Inc":     true,
+	"Add":     true,
+	"Set":     true,
+	"Observe": true,
+	"With":    true,
+}
+
+func runGatedmetrics(p *Pass) error {
+	// pending publications found at unguarded sites, with the unexported
+	// function whose body contains them (nil when at package level or in
+	// a closure we cannot track callers of).
+	type pending struct {
+		pos token.Pos
+		fn  *types.Func
+	}
+	var unguarded []pending
+	callerCount := map[*types.Func]int{}
+	allGuarded := map[*types.Func]bool{}
+
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			// Track guardedness of calls to package-local functions for
+			// the one-level caller propagation rule.
+			if fn := localCallee(p, call); fn != nil {
+				if _, seen := allGuarded[fn]; !seen {
+					allGuarded[fn] = true
+				}
+				callerCount[fn]++
+				if !isGuarded(p, stack, call.Pos()) {
+					allGuarded[fn] = false
+				}
+			}
+			pkg, method, ok := calleeMethod(p.Info, call)
+			if !ok || !isInternalPkg(pkg, "telemetry") || !publicationMethods[method] {
+				return
+			}
+			encl := enclosingFunc(stack)
+			if encl == nil {
+				// Package-level var initializer: registration-time child
+				// precomputation, not a hot-path publication.
+				return
+			}
+			if isGuarded(p, stack, call.Pos()) {
+				return
+			}
+			var fnObj *types.Func
+			if fd, isDecl := encl.(*ast.FuncDecl); isDecl {
+				if obj, isFn := p.Info.Defs[fd.Name].(*types.Func); isFn && !obj.Exported() && fd.Recv == nil {
+					fnObj = obj
+				}
+			}
+			unguarded = append(unguarded, pending{call.Pos(), fnObj})
+		})
+	}
+
+	for _, u := range unguarded {
+		if u.fn != nil && callerCount[u.fn] > 0 && allGuarded[u.fn] {
+			continue // every call site of the enclosing helper is guarded
+		}
+		p.Reportf(u.pos,
+			"telemetry publication must be gated on telemetry.Enabled(): guard the call site, early-return from the enclosing function, or guard every caller of the helper")
+	}
+	return nil
+}
+
+// localCallee resolves call to an unexported package-level function of
+// the package under analysis, or nil.
+func localCallee(p *Pass, call *ast.CallExpr) *types.Func {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != p.Pkg || fn.Exported() {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// isGuarded reports whether the node at pos with ancestor stack sits
+// under a telemetry.Enabled() guard.
+func isGuarded(p *Pass, stack []ast.Node, pos token.Pos) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		mention, negated := enabledInCond(p, ifs.Cond)
+		if !mention {
+			continue
+		}
+		inBody := ifs.Body.Pos() <= pos && pos < ifs.Body.End()
+		if !negated && inBody {
+			return true
+		}
+		if negated && !inBody {
+			return true // the else branch of `if !telemetry.Enabled()`
+		}
+	}
+	// Early-return guard: `if !telemetry.Enabled() { return }` earlier in
+	// the enclosing function body, at statement level.
+	encl := enclosingFunc(stack)
+	if encl == nil {
+		return false
+	}
+	var body *ast.BlockStmt
+	switch encl := encl.(type) {
+	case *ast.FuncDecl:
+		body = encl.Body
+	case *ast.FuncLit:
+		body = encl.Body
+	}
+	if body == nil {
+		return false
+	}
+	for _, st := range body.List {
+		if st.End() > pos {
+			break
+		}
+		if ifs, ok := st.(*ast.IfStmt); ok && isEnabledEarlyReturn(p, ifs) {
+			return true
+		}
+	}
+	return false
+}
+
+// enabledInCond reports whether cond mentions a telemetry.Enabled() call,
+// and whether the whole condition is its negation (`!telemetry.Enabled()`).
+func enabledInCond(p *Pass, cond ast.Expr) (mention, negated bool) {
+	if un, ok := ast.Unparen(cond).(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		if call, ok := ast.Unparen(un.X).(*ast.CallExpr); ok && isEnabledCall(p, call) {
+			return true, true
+		}
+	}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isEnabledCall(p, call) {
+			mention = true
+		}
+		return !mention
+	})
+	return mention, false
+}
+
+func isEnabledCall(p *Pass, call *ast.CallExpr) bool {
+	pkg, name, ok := calleePkgFunc(p.Info, call)
+	return ok && isInternalPkg(pkg, "telemetry") && name == "Enabled"
+}
+
+// isEnabledEarlyReturn matches `if !telemetry.Enabled() { return }` (the
+// body must end by returning).
+func isEnabledEarlyReturn(p *Pass, ifs *ast.IfStmt) bool {
+	_, negated := enabledInCond(p, ifs.Cond)
+	if !negated || len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isRet := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isRet
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Fixture coverage: one positive+suppressed fixture package per analyzer
+// (see testdata/src). Each fixture contains violations annotated with
+// `// want` expectations, clean idioms that must not be flagged, and a
+// //lint:allow (and, for detrange, //lint:commutative) suppression case.
+
+func TestDetrangeFixture(t *testing.T)     { RunFixture(t, Detrange, "detrange") }
+func TestDetrandFixture(t *testing.T)      { RunFixture(t, Detrand, "detrand") }
+func TestRawgoFixture(t *testing.T)        { RunFixture(t, Rawgo, "rawgo") }
+func TestSpanpairFixture(t *testing.T)     { RunFixture(t, Spanpair, "spanpair") }
+func TestGatedmetricsFixture(t *testing.T) { RunFixture(t, Gatedmetrics, "gatedmetrics") }
+func TestNoslicesortFixture(t *testing.T)  { RunFixture(t, Noslicesort, "noslicesort") }
+
+// TestRepoIsLintClean runs the full suite, with scopes, over the whole
+// module — the same invocation as `make lint` — and requires zero
+// findings. This is the machine-enforced version of the determinism and
+// observability invariants: a PR that introduces a map range on a solver
+// path, an unseeded rand draw, a bare goroutine, an unclosed span or an
+// ungated metric fails `go test ./...` here.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestVetUnit exercises the `go vet -vettool` config mode end to end: it
+// builds a unitchecker config for the noslicesort fixture (whose analyzer
+// is unscoped, so it applies to the fixture's import path) from real
+// `go list -export` output and expects the findings exit code.
+func TestVetUnit(t *testing.T) {
+	out, err := exec.Command("go", "list", "-e", "-export", "-json", "-deps",
+		"./testdata/src/noslicesort").Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	cfg := vetConfig{
+		Compiler:    "gc",
+		PackageFile: map[string]string{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Export != "" {
+			cfg.PackageFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			cfg.ID = p.ImportPath
+			cfg.ImportPath = p.ImportPath
+			cfg.Dir = p.Dir
+			cfg.GoFiles = p.GoFiles
+		}
+	}
+	dir := t.TempDir()
+	cfg.VetxOutput = filepath.Join(dir, "out.vetx")
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := VetUnit(cfgPath); code != 2 {
+		t.Errorf("VetUnit on violating fixture: exit code %d, want 2 (findings)", code)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+
+	// A VetxOnly (dependency) pass must succeed without analysis.
+	cfg.VetxOnly = true
+	cfg.VetxOutput = filepath.Join(dir, "deponly.vetx")
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := VetUnit(cfgPath); code != 0 {
+		t.Errorf("VetUnit in VetxOnly mode: exit code %d, want 0", code)
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{
+		Scope:   []string{"repro/internal/mis", "repro/internal/graph"},
+		Exclude: []string{"repro/internal/graph/testutil"},
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/mis", true},
+		{"repro/internal/graph", true},
+		{"repro/internal/graph/testutil", false},
+		{"repro/internal/graph/testutil/sub", false},
+		{"repro/internal/misfit", false}, // prefix must respect path boundaries
+		{"repro/internal/harness", false},
+	}
+	for _, c := range cases {
+		if got := a.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	unscoped := &Analyzer{Exclude: []string{"repro/internal/telemetry"}}
+	if !unscoped.AppliesTo("repro/internal/harness") {
+		t.Error("empty scope should apply everywhere")
+	}
+	if unscoped.AppliesTo("repro/internal/telemetry") {
+		t.Error("exclude should win over empty scope")
+	}
+}
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	src := `package p
+
+func f() int {
+	x := 1 //lint:allow rawgo, detrange
+	//lint:allow spanpair
+	y := 2
+	return x + y
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Analyzer: Detrange, Fset: fset, Files: []*ast.File{f}}
+
+	lines := pass.directiveLines("lint:allow", "detrange")
+	if !lines[lineKey{"p.go", 4}] || !lines[lineKey{"p.go", 5}] {
+		t.Errorf("comma-separated allow list should cover lines 4-5: %v", lines)
+	}
+	if lines[lineKey{"p.go", 6}] {
+		t.Errorf("allow for a different analyzer must not leak to line 6")
+	}
+	spanLines := pass.directiveLines("lint:allow", "spanpair")
+	if !spanLines[lineKey{"p.go", 6}] {
+		t.Errorf("preceding-line allow should cover line 6: %v", spanLines)
+	}
+	if none := pass.directiveLines("lint:allow", "gatedmetrics"); len(none) != 0 {
+		t.Errorf("unrelated analyzer should see no allow lines, got %v", none)
+	}
+}
+
+func TestAnalyzersSuiteShape(t *testing.T) {
+	as := Analyzers()
+	if len(as) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"detrange", "detrand", "rawgo", "spanpair", "gatedmetrics", "noslicesort"} {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+}

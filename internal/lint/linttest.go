@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// RunFixture loads the fixture package at testdata/src/<fixture> (with the
+// production loader, so fixtures are real, compiling packages), applies
+// the analyzer ignoring its scope, and compares findings against
+// `// want "regexp"` comments in the fixture: every finding must match a
+// want on its line, and every want must be matched. This mirrors
+// x/tools/go/analysis/analysistest.
+func RunFixture(t testing.TB, a *Analyzer, fixture string) {
+	t.Helper()
+	pkgs, err := LoadPackages(".", "./testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quoteRe  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	tickedRe = regexp.MustCompile("`[^`]*`")
+)
+
+// parseWants collects // want expectations, keyed by file and line. Both
+// `// want "re"` and backquoted `// want ` + "`re`" forms are accepted,
+// with several patterns per comment.
+func parseWants(t testing.TB, pkg *Package) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				var pats []string
+				for _, q := range quoteRe.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("bad want pattern %s: %v", q, err)
+					}
+					pats = append(pats, s)
+				}
+				for _, q := range tickedRe.FindAllString(m[1], -1) {
+					pats = append(pats, q[1:len(q)-1])
+				}
+				if len(pats) == 0 {
+					t.Fatalf("want comment with no quoted pattern: %s", c.Text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", p, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Noslicesort flags the reflection-based sort.Slice family in non-test
+// code. The generic slices.Sort/slices.SortFunc are both faster (no
+// interface boxing, no reflect-based swaps) and type-checked; PR 1 moved
+// every hot path over, and this analyzer keeps new code from regressing.
+// Test files are exempt (the loader does not analyze them): tests compare
+// against the reflection implementation on purpose.
+var Noslicesort = &Analyzer{
+	Name: "noslicesort",
+	Doc:  "forbid reflection-based sort.Slice/SliceStable/SliceIsSorted outside tests; use slices.Sort*",
+	Run:  runNoslicesort,
+}
+
+var sliceSortFuncs = map[string]bool{
+	"Slice":         true,
+	"SliceStable":   true,
+	"SliceIsSorted": true,
+}
+
+func runNoslicesort(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := calleePkgFunc(p.Info, call)
+			if !ok || pkg != "sort" || !sliceSortFuncs[name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"reflection-based sort.%s: use slices.Sort / slices.SortFunc / slices.IsSortedFunc (type-checked, no interface boxing)", name)
+			return true
+		})
+	}
+	return nil
+}

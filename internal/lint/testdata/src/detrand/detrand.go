@@ -1,0 +1,37 @@
+// Package detrand exercises the detrand analyzer: the stateful global
+// math/rand source and time-derived seeds are flagged; explicitly seeded
+// generators and their methods are not.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source`
+}
+
+func timeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seed derived from time.Now`
+}
+
+func configSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func seededDraw(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func wallClockIsFine() time.Time {
+	return time.Now()
+}
+
+func allowed() float64 {
+	return rand.Float64() //lint:allow detrand
+}

@@ -1,0 +1,71 @@
+// Package detrange exercises the detrange analyzer: ranging over a map in
+// result-producing code is flagged unless the loop is annotated
+// //lint:commutative (or suppressed with //lint:allow detrange).
+package detrange
+
+func sum(m map[int]int) int {
+	total := 0
+	for k, v := range m { // want `map iteration order is nondeterministic`
+		total += k + v
+	}
+	return total
+}
+
+type table map[string]int
+
+func namedMapType(t table) int {
+	n := 0
+	for range t { // want `map iteration order is nondeterministic`
+		n++
+	}
+	return n
+}
+
+func appendKeys(m map[string]bool) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func commutativeAbove(m map[int]int) int {
+	total := 0
+	//lint:commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func commutativeTrailing(m map[int]int) int {
+	total := 0
+	for _, v := range m { //lint:commutative
+		total += v
+	}
+	return total
+}
+
+func allowed(m map[int]int) int {
+	n := 0
+	for k := range m { //lint:allow detrange
+		n += k
+	}
+	return n
+}
+
+func sliceIsFine(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+func channelIsFine(c chan int) int {
+	n := 0
+	for v := range c {
+		n += v
+	}
+	return n
+}

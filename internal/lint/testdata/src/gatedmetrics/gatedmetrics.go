@@ -1,0 +1,87 @@
+// Package gatedmetrics exercises the gatedmetrics analyzer: telemetry
+// publications must sit under a telemetry.Enabled() guard — at the call
+// site, via an early return, or (for unexported helpers) at every caller.
+package gatedmetrics
+
+import "repro/internal/telemetry"
+
+var (
+	launches = telemetry.Default.Counter(
+		"lintfixture_launches_total", "Fixture counter.")
+	depth = telemetry.Default.GaugeVec(
+		"lintfixture_depth", "Fixture gauge.", "phase")
+)
+
+func unguarded(n int) {
+	launches.Add(float64(n)) // want `gated on telemetry.Enabled`
+}
+
+func unguardedVec(n int) {
+	depth.With("solve").Set(float64(n)) // want `gated on telemetry.Enabled` `gated on telemetry.Enabled`
+}
+
+func guardedSite(n int) {
+	if telemetry.Enabled() {
+		launches.Add(float64(n))
+		depth.With("solve").Set(float64(n))
+	}
+}
+
+func guardedCompound(n int, verbose bool) {
+	if telemetry.Enabled() && verbose {
+		launches.Add(float64(n))
+	}
+}
+
+func earlyReturn(n int) {
+	if !telemetry.Enabled() {
+		return
+	}
+	launches.Add(float64(n))
+}
+
+func elseBranch(n int) {
+	if !telemetry.Enabled() {
+		_ = n
+	} else {
+		launches.Inc()
+	}
+}
+
+// publish relies on the caller-propagation rule: its only callers guard.
+func publish(n int) {
+	launches.Add(float64(n))
+	depth.With("solve").Set(float64(n))
+}
+
+func caller(n int) {
+	if telemetry.Enabled() {
+		publish(n)
+	}
+}
+
+func otherCaller(n int) {
+	if !telemetry.Enabled() {
+		return
+	}
+	publish(n)
+}
+
+// leakyHelper has one unguarded caller, so its body is flagged.
+func leakyHelper() {
+	launches.Inc() // want `gated on telemetry.Enabled`
+}
+
+func badCaller() {
+	leakyHelper()
+}
+
+func goodCaller() {
+	if telemetry.Enabled() {
+		leakyHelper()
+	}
+}
+
+func allowed() {
+	launches.Inc() //lint:allow gatedmetrics
+}

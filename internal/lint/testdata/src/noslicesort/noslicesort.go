@@ -1,0 +1,29 @@
+// Package noslicesort exercises the noslicesort analyzer: the
+// reflection-based sort.Slice family is flagged outside tests.
+package noslicesort
+
+import "sort"
+
+func bad(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `reflection-based sort.Slice`
+}
+
+func badStable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `reflection-based sort.SliceStable`
+}
+
+func badIsSorted(xs []int) bool {
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `reflection-based sort.SliceIsSorted`
+}
+
+func typedSortIsFine(xs []string) {
+	sort.Strings(xs)
+}
+
+func interfaceSortIsFine(x sort.Interface) {
+	sort.Sort(x)
+}
+
+func allowed(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) //lint:allow noslicesort
+}

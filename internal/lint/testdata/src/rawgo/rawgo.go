@@ -1,0 +1,38 @@
+// Package rawgo exercises the rawgo analyzer: bare goroutine fan-out and
+// sync.WaitGroup coordination are flagged in solver code, which must
+// dispatch through the internal/par pool instead.
+package rawgo
+
+import "sync"
+
+func fanOut(work []int) {
+	var wg sync.WaitGroup // want `sync.WaitGroup in solver code`
+	for i := range work {
+		wg.Add(1)
+		go func(i int) { // want `goroutine spawned directly in solver code`
+			defer wg.Done()
+			work[i]++
+		}(i)
+	}
+	wg.Wait()
+}
+
+type coordinator struct {
+	wg sync.WaitGroup // want `sync.WaitGroup in solver code`
+}
+
+func fireAndForget(done chan<- struct{}) {
+	go notify(done) // want `goroutine spawned directly in solver code`
+}
+
+func notify(done chan<- struct{}) { done <- struct{}{} }
+
+func mutexIsFine() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func allowed(done chan struct{}) {
+	go close(done) //lint:allow rawgo
+}

@@ -1,0 +1,62 @@
+// Package spanpair exercises the spanpair analyzer: every span opened by
+// trace.Begin/Beginf must be ended in the opening function or escape to a
+// new owner.
+package spanpair
+
+import "repro/internal/trace"
+
+func discarded() {
+	trace.Begin("phase") // want `discarded`
+}
+
+func discardedBeginf(n int) {
+	trace.Beginf("phase %d", n) // want `discarded`
+}
+
+func blankAssigned() {
+	_ = trace.Begin("phase") // want `discarded`
+}
+
+func leaked(n int) int {
+	sp := trace.Begin("phase") // want `never ended`
+	sp.Add("n", int64(n))
+	return n
+}
+
+func deferred() {
+	sp := trace.Begin("phase")
+	defer sp.End()
+}
+
+func plainEnd() {
+	sp := trace.Begin("phase")
+	sp.Add("work", 1)
+	sp.End()
+}
+
+func sequentialReuse() {
+	sp := trace.Begin("first")
+	sp.End()
+	sp = trace.Begin("second")
+	sp.End()
+}
+
+func returned() *trace.Span {
+	return trace.Begin("phase") // escapes: the caller owns it
+}
+
+func passedAlong() {
+	sp := trace.Begin("phase")
+	finish(sp) // escapes: finish owns it
+}
+
+func finish(sp *trace.Span) { sp.End() }
+
+func endedInClosure() {
+	sp := trace.Begin("phase")
+	defer func() { sp.End() }()
+}
+
+func allowed() {
+	trace.Begin("phase") //lint:allow spanpair
+}

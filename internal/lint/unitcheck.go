@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig is the per-package configuration file the go command hands a
+// -vettool as its sole argument. Field set and semantics follow
+// x/tools/go/analysis/unitchecker.Config, which defines the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit analyzes the single package described by the go command's vet
+// config file and returns the process exit code: 0 clean, 1 on internal
+// error, 2 on findings (the unitchecker convention, which `go vet`
+// surfaces as a failure with our stderr attached). The suite keeps no
+// cross-package facts, so the "vetx" output is just an empty placeholder
+// the go command caches.
+func VetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "symlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.Compiler != "gc" && cfg.Compiler != "" {
+		fmt.Fprintf(os.Stderr, "symlint: unsupported compiler %q\n", cfg.Compiler)
+		return 1
+	}
+
+	// Test-variant units duplicate the base package plus its _test.go
+	// files; the suite does not analyze tests (same contract as the
+	// standalone loader), and the base unit is analyzed on its own, so
+	// skip these entirely.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		if err := writeVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Dependency passes (VetxOnly) exist only to propagate analyzer
+	// facts; the suite keeps none, so skip the typecheck entirely — this
+	// also sidesteps stdlib packages we have no business parsing.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	pkg, err := checkPackage(fset, imp, listPackage{
+		Dir:        cfg.Dir,
+		ImportPath: cfg.ImportPath,
+		GoFiles:    goFiles,
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+		return 1
+	}
+
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+		return 1
+	}
+
+	diags, err := Run([]*Package{pkg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte("symlint: no facts\n"), 0o666)
+}
+
+// VetFlagsJSON is the reply to the go command's `-flags` probe: the list
+// of analyzer flags the tool accepts (none — scopes are fixed in-source).
+const VetFlagsJSON = "[]"
