@@ -35,16 +35,18 @@ lint:
 	$(GO) run ./cmd/symlint ./...
 
 # Quick end-to-end benchmark smoke: one iteration of the paper-figure
-# benchmarks, archived as JSON for cross-PR regression comparison.
+# benchmarks plus the frontier-engine and MPX micro-benchmarks, archived as
+# JSON for cross-PR regression comparison.
+SMOKE_BENCHES = ^(BenchmarkFig2Decomp|BenchmarkTable1|BenchmarkDecompMPX|BenchmarkFrontierHybridBFS)
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^(BenchmarkFig2Decomp|BenchmarkTable1)' -benchtime=1x . \
+	$(GO) test -run='^$$' -bench='$(SMOKE_BENCHES)' -benchtime=1x . \
 		| $(GO) run scripts/bench2json.go -o BENCH_pr1.json
 
-# Regression gate: re-run the paper-figure benchmarks (3 repeats, best-of-N
-# per name) and fail if any is more than GATE_THRESHOLD percent slower than
+# Regression gate: re-run the smoke benchmarks (3 repeats, best-of-N per
+# name) and fail if any is more than GATE_THRESHOLD percent slower than
 # the archived BENCH_pr1.json baseline. Improvements always pass.
 bench-gate:
-	$(GO) test -run='^$$' -bench='^(BenchmarkFig2Decomp|BenchmarkTable1)' -benchtime=1x -count=3 . \
+	$(GO) test -run='^$$' -bench='$(SMOKE_BENCHES)' -benchtime=1x -count=3 . \
 		| $(GO) run scripts/bench2json.go -compare BENCH_pr1.json -threshold $(GATE_THRESHOLD)
 
 # Runtime micro-benchmarks: pooled dispatch vs the seed spawn-per-call

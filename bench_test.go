@@ -12,6 +12,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/bfs"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/decomp"
@@ -210,6 +211,25 @@ func BenchmarkDecompDegk(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		decomp.Degk(g, 2)
+	}
+}
+
+func BenchmarkDecompMPX(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decomp.MPX(g, decomp.DefaultMPXBeta, 1)
+	}
+}
+
+// BenchmarkFrontierHybridBFS times the direction-optimizing engine end to
+// end (the BFS every BRIDGE decomposition starts with); the pull-threshold
+// sweep lives in internal/frontier's BenchmarkEdgeMapBFSDiv.
+func BenchmarkFrontierHybridBFS(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs.ForestHybrid(g)
 	}
 }
 

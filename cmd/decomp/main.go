@@ -6,6 +6,7 @@
 //
 //	decomp -technique bridge lp1
 //	decomp -technique rand -parts 10 germany-osm
+//	decomp -technique mpx -beta 0.2 coAuthorsCiteseer
 //	decomp -technique degk -k 2 -file graph.txt
 package main
 
@@ -19,9 +20,10 @@ import (
 )
 
 func main() {
-	technique := flag.String("technique", "degk", "bridge, rand, degk, labelprop, or multilevel")
+	technique := flag.String("technique", "degk", "bridge, rand, degk, mpx, labelprop, or multilevel")
 	parts := flag.Int("parts", 10, "RAND/LABELPROP partition count")
 	k := flag.Int("k", 2, "DEGk threshold")
+	beta := flag.Float64("beta", decomp.DefaultMPXBeta, "MPX ball-growing rate")
 	iters := flag.Int("iters", 5, "LABELPROP iterations")
 	seed := flag.Uint64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
@@ -33,20 +35,26 @@ func main() {
 		fatal(err)
 	}
 
+	tech, err := decomp.ParseTechnique(*technique)
+	if err != nil {
+		fatal(err)
+	}
 	var r *decomp.Result
-	switch *technique {
-	case "bridge":
+	switch tech {
+	case decomp.TechBridge:
 		r = decomp.Bridge(g)
-	case "rand":
+	case decomp.TechRand:
 		r = decomp.Rand(g, *parts, *seed)
-	case "degk":
+	case decomp.TechDegk:
 		r = decomp.Degk(g, *k)
-	case "labelprop":
+	case decomp.TechMPX:
+		r = decomp.MPX(g, *beta, *seed)
+	case decomp.TechLabelProp:
 		r = decomp.LabelProp(g, *parts, *iters, *seed)
-	case "multilevel":
+	case decomp.TechMultilevel:
 		r = decomp.Multilevel(g, *parts, *seed)
 	default:
-		fatal(fmt.Errorf("unknown technique %q", *technique))
+		fatal(fmt.Errorf("technique %v not runnable here", tech))
 	}
 
 	fmt.Printf("technique:   %v\n", r.Technique)
@@ -61,6 +69,10 @@ func main() {
 	if r.Technique == decomp.TechBridge {
 		fmt.Printf("bridges:     %d (%.2f%% of edges)\n", len(r.Bridges),
 			100*float64(len(r.Bridges))/float64(g.NumEdges()))
+	}
+	if r.Technique == decomp.TechMPX {
+		fmt.Printf("balls:       %d (%.2f%% of edges cross)\n", r.Balls,
+			100*float64(r.CrossEdges())/float64(g.NumEdges()))
 	}
 	fmt.Printf("rounds:      %d\n", r.Rounds)
 	fmt.Printf("elapsed:     %v\n", r.Elapsed)

@@ -28,10 +28,11 @@ import (
 
 func main() {
 	problem := flag.String("problem", "mis", "mm, color, or mis")
-	strategy := flag.String("strategy", "auto", "auto, baseline, bridge, rand, or degk")
+	strategy := flag.String("strategy", "auto", "auto, baseline, bridge, rand, degk, or mpx")
 	archFlag := flag.String("arch", "cpu", "cpu or gpu")
 	parts := flag.Int("parts", 0, "RAND partition count (0 = paper default)")
 	k := flag.Int("k", 0, "DEGk threshold (0 = paper's k=2)")
+	beta := flag.Float64("beta", 0, "MPX ball-growing rate (0 = default)")
 	seed := flag.Uint64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	file := flag.String("file", "", "read a graph from a file (edge list, or METIS for .graph/.metis)")
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	res, err := core.Solve(g, p, core.Options{
-		Strategy: s, Arch: arch, RandParts: *parts, DegK: *k, Seed: *seed,
+		Strategy: s, Arch: arch, RandParts: *parts, DegK: *k, MPXBeta: *beta, Seed: *seed,
 	})
 	if err != nil {
 		fatal(err)

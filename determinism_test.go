@@ -58,6 +58,11 @@ func TestDeterminismSweepSolvers(t *testing.T) {
 		{core.ProblemColor, core.StrategyDegk},
 		{core.ProblemMIS, core.StrategyBaseline},
 		{core.ProblemMIS, core.StrategyDegk},
+		// MPX extension: exercises the frontier engine's pull path (dense
+		// rounds) under every worker count, for all three problems.
+		{core.ProblemMM, core.StrategyMPX},
+		{core.ProblemColor, core.StrategyMPX},
+		{core.ProblemMIS, core.StrategyMPX},
 	}
 
 	solve := func(g *graph.Graph, c cfg) *core.Result {

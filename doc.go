@@ -12,7 +12,8 @@
 // Layout:
 //
 //	internal/core       the public Solve API (problem × strategy × arch)
-//	internal/decomp     BRIDGE / RAND / DEGk decompositions (paper §II)
+//	internal/decomp     BRIDGE / RAND / DEGk (paper §II) + MPX ball growing
+//	internal/frontier   Ligra-style subsets + direction-optimizing EdgeMap
 //	internal/matching   GM, LMAX, Israeli–Itai, MM-Bridge/Rand/Degk/Biconn (§III)
 //	internal/coloring   VB, EB, Jones–Plassmann, COLOR-Bridge/Rand/Degk/Biconn (§IV)
 //	internal/mis        LubyMIS, greedy, KP bounded-degree, MIS-Bridge/Rand/Deg2/Biconn (§V)
@@ -21,7 +22,7 @@
 //	internal/dataset    the twelve Table II analogs
 //	internal/par        goroutine parallel runtime (the "CPU")
 //	internal/bsp        bulk-synchronous virtual manycore (the "GPU")
-//	internal/bfs        level-synchronous + direction-optimizing BFS
+//	internal/bfs        BFS (plain + hybrid) on the frontier engine
 //	internal/biconn     biconnected components / articulation points
 //	internal/bipartite  Hopcroft–Karp maximum matching (quality oracle)
 //	internal/multilevel matching-based k-way partitioner (METIS stand-in)

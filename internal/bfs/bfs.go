@@ -3,9 +3,14 @@
 // paper's BRIDGE decomposition (Algorithm 1) requires, and supports
 // multi-source searches so decomposition also works on disconnected inputs
 // (the RAND and DEGk subgraphs "may be disconnected in nature").
+//
+// Both traversals run on the internal/frontier engine: plain BFS pins the
+// engine to push-only (frontier.NoPull), the hybrid variant lets the
+// engine switch directions per the Beamer heuristic.
 package bfs
 
 import (
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -33,12 +38,17 @@ func (t *Tree) IsTreeEdge(u, v int32) bool {
 
 // FromRoot runs a parallel BFS from a single root.
 func FromRoot(g *graph.Graph, root int32) *Tree {
-	return run(g, []int32{root})
+	return run(g, []int32{root}, &frontier.Engine{PullDiv: frontier.NoPull})
 }
 
 // Forest runs parallel BFS from the smallest-id vertex of every connected
 // component, covering all vertices.
 func Forest(g *graph.Graph) *Tree {
+	return run(g, forestRoots(g), &frontier.Engine{PullDiv: frontier.NoPull})
+}
+
+// forestRoots returns the smallest-id vertex of every connected component.
+func forestRoots(g *graph.Graph) []int32 {
 	n := g.NumVertices()
 	label, nc := graph.ConnectedComponents(g)
 	roots := make([]int32, nc)
@@ -50,11 +60,16 @@ func Forest(g *graph.Graph) *Tree {
 			roots[label[v]] = int32(v)
 		}
 	}
-	return run(g, roots)
+	return roots
 }
 
-// run executes the level-synchronous search from the given roots.
-func run(g *graph.Graph, roots []int32) *Tree {
+// run executes the level-synchronous search from the given roots on the
+// given frontier engine. Each round relaxes the frontier's out-edges with
+// an atomic visited claim: the claim winner becomes the parent, so Level
+// is deterministic (levels are direction independent) while Parent may
+// vary between runs in pushed rounds and is the smallest-id frontier
+// neighbor in pulled rounds.
+func run(g *graph.Graph, roots []int32, eng *frontier.Engine) *Tree {
 	n := g.NumVertices()
 	t := &Tree{
 		Parent: make([]int32, n),
@@ -65,54 +80,34 @@ func run(g *graph.Graph, roots []int32) *Tree {
 	par.Fill(t.Level, int32(-1))
 
 	visited := par.NewBitset(n)
-	frontier := make([]int32, 0, len(roots))
+	seed := make([]int32, 0, len(roots))
 	for _, r := range roots {
 		if visited.TestAndSet(int(r)) {
 			t.Parent[r] = -1
 			t.Level[r] = 0
-			frontier = append(frontier, r)
+			seed = append(seed, r)
 		}
 	}
 
+	f := frontier.New(n, seed)
 	level := int32(0)
-	for len(frontier) > 0 {
+	for !f.IsEmpty() {
 		level++
-		next := expand(g, t, visited, frontier, level)
-		frontier = next
 		t.Depth++
+		lv := level
+		f = eng.EdgeMap(g, f, frontier.Ops{
+			Cond: func(v int32) bool {
+				return !visited.Test(int(v))
+			},
+			Update: func(u, v int32) bool {
+				if visited.TestAndSet(int(v)) {
+					t.Parent[v] = u
+					t.Level[v] = lv
+					return true
+				}
+				return false
+			},
+		})
 	}
 	return t
-}
-
-// expand computes the next frontier: every unvisited neighbor of the
-// current frontier is claimed atomically by exactly one parent. Per-chunk
-// output buffers are concatenated with a prefix sum so the result is
-// allocated once.
-func expand(g *graph.Graph, t *Tree, visited *par.Bitset, frontier []int32, level int32) []int32 {
-	nf := len(frontier)
-	nc := par.NumChunks(nf)
-	bufs := make([][]int32, nc)
-	par.RangeIdx(nf, func(w, lo, hi int) {
-		var out []int32
-		for i := lo; i < hi; i++ {
-			v := frontier[i]
-			for _, u := range g.Neighbors(v) {
-				if visited.TestAndSet(int(u)) {
-					t.Parent[u] = v
-					t.Level[u] = level
-					out = append(out, u)
-				}
-			}
-		}
-		bufs[w] = out
-	})
-	total := 0
-	for _, b := range bufs {
-		total += len(b)
-	}
-	next := make([]int32, 0, total)
-	for _, b := range bufs {
-		next = append(next, b...)
-	}
-	return next
 }

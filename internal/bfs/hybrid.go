@@ -1,10 +1,8 @@
 package bfs
 
 import (
-	"sync/atomic"
-
+	"repro/internal/frontier"
 	"repro/internal/graph"
-	"repro/internal/par"
 )
 
 // Direction-optimizing BFS (Beamer et al.): when the frontier grows large,
@@ -13,102 +11,19 @@ import (
 // frontier top-down. This is an extension beyond the paper (its BRIDGE
 // decomposition uses plain level-synchronous BFS); the harness's
 // bfs-ablation experiment measures what it buys on each dataset class.
-
-// hybridThresholdDiv controls the switch: go bottom-up while the frontier
-// holds more than n/hybridThresholdDiv vertices.
-const hybridThresholdDiv = 16
+//
+// The push/pull switch itself lives in internal/frontier: the hybrid
+// variants simply run the shared search loop on an engine with the
+// default (tunable) threshold divisor instead of pinning push-only.
 
 // ForestHybrid is Forest with direction-optimizing traversal. It produces
 // a valid BFS forest with identical Level arrays (levels are direction
 // independent); Parent choices may differ from Forest's.
 func ForestHybrid(g *graph.Graph) *Tree {
-	n := g.NumVertices()
-	label, nc := graph.ConnectedComponents(g)
-	roots := make([]int32, nc)
-	par.Fill(roots, int32(-1))
-	for v := 0; v < n; v++ {
-		if roots[label[v]] == -1 {
-			roots[label[v]] = int32(v)
-		}
-	}
-	return runHybrid(g, roots)
+	return run(g, forestRoots(g), &frontier.Engine{})
 }
 
 // FromRootHybrid is FromRoot with direction-optimizing traversal.
 func FromRootHybrid(g *graph.Graph, root int32) *Tree {
-	return runHybrid(g, []int32{root})
-}
-
-func runHybrid(g *graph.Graph, roots []int32) *Tree {
-	n := g.NumVertices()
-	t := &Tree{
-		Parent: make([]int32, n),
-		Level:  make([]int32, n),
-		Roots:  roots,
-	}
-	par.Fill(t.Parent, Unreached)
-	par.Fill(t.Level, int32(-1))
-
-	visited := par.NewBitset(n)
-	inFrontier := par.NewBitset(n)
-	frontier := make([]int32, 0, len(roots))
-	for _, r := range roots {
-		if visited.TestAndSet(int(r)) {
-			t.Parent[r] = -1
-			t.Level[r] = 0
-			frontier = append(frontier, r)
-		}
-	}
-
-	level := int32(0)
-	for len(frontier) > 0 {
-		level++
-		t.Depth++
-		if len(frontier) > n/hybridThresholdDiv {
-			frontier = stepBottomUp(g, t, visited, inFrontier, frontier, level)
-		} else {
-			frontier = expand(g, t, visited, frontier, level)
-		}
-	}
-	return t
-}
-
-// stepBottomUp computes the next frontier by having every unvisited vertex
-// look for a parent in the current frontier.
-func stepBottomUp(g *graph.Graph, t *Tree, visited, inFrontier *par.Bitset, frontier []int32, level int32) []int32 {
-	n := g.NumVertices()
-	inFrontier.Reset()
-	par.Range(len(frontier), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			inFrontier.Set(int(frontier[i]))
-		}
-	})
-	nc := par.NumChunks(n)
-	bufs := make([][]int32, nc)
-	var found atomic.Int64
-	par.RangeIdx(n, func(w, lo, hi int) {
-		var out []int32
-		for v := lo; v < hi; v++ {
-			if visited.Test(v) {
-				continue
-			}
-			for _, u := range g.Neighbors(int32(v)) {
-				if inFrontier.Test(int(u)) {
-					// No race: only this chunk owns v.
-					visited.Set(v)
-					t.Parent[v] = u
-					t.Level[v] = level
-					out = append(out, int32(v))
-					found.Add(1)
-					break
-				}
-			}
-		}
-		bufs[w] = out
-	})
-	next := make([]int32, 0, found.Load())
-	for _, b := range bufs {
-		next = append(next, b...)
-	}
-	return next
+	return run(g, []int32{root}, &frontier.Engine{})
 }

@@ -63,8 +63,10 @@ func ParseStrategy(s string) (core.Strategy, error) {
 		return core.StrategyRand, nil
 	case "degk":
 		return core.StrategyDegk, nil
+	case "mpx":
+		return core.StrategyMPX, nil
 	default:
-		return 0, fmt.Errorf("unknown strategy %q (want auto, baseline, bridge, rand, or degk)", s)
+		return 0, fmt.Errorf("unknown strategy %q (want auto, baseline, bridge, rand, degk, or mpx)", s)
 	}
 }
 

@@ -90,6 +90,7 @@ func TestParsersAllValues(t *testing.T) {
 	strategies := map[string]core.Strategy{
 		"auto": core.StrategyAuto, "baseline": core.StrategyBaseline,
 		"bridge": core.StrategyBridge, "rand": core.StrategyRand, "degk": core.StrategyDegk,
+		"mpx": core.StrategyMPX,
 	}
 	for in, want := range strategies {
 		if s, err := ParseStrategy(in); err != nil || s != want {

@@ -76,6 +76,37 @@ func ColorRand(g *graph.Graph, k int, seed uint64, eng Engine) (*Coloring, Repor
 	return c, rep
 }
 
+// ColorMPX is the MPX analogue of Algorithm 7 (an extension beyond the
+// paper): grow exponential-shift balls, color their union with a shared
+// palette (different balls can only conflict across inter-ball edges),
+// then repair the monochromatic inter-ball endpoints against the full
+// graph.
+func ColorMPX(g *graph.Graph, beta float64, seed uint64, eng Engine) (*Coloring, Report) {
+	rep := Report{Strategy: "COLOR-MPX"}
+	dsp := trace.Begin("decomp")
+	d := decomp.MPX(g, beta, seed)
+	dsp.End()
+	rep.Decomp = d.Elapsed
+
+	start := time.Now()
+	sp := trace.Begin("solve/balls")
+	c, st := eng.Fresh(d.Parts[0].G)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
+	rep.Rounds += st.Rounds
+	// Conflicts can only sit on inter-ball edges.
+	sp = trace.Begin("solve/repair")
+	work := resetConflictsSub(c.Color, d.Cross)
+	rep.Conflicted = int64(len(work))
+	st = eng.Repair(g, c.Color, work)
+	sp.Add("conflicts", rep.Conflicted)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.End()
+	rep.Rounds += st.Rounds
+	rep.Solve = time.Since(start)
+	return c, rep
+}
+
 // ColorDegk is the paper's Algorithm 9 (k = 2 in the paper): color the
 // high-degree subgraph G_H first; the cross edges G_C cannot conflict
 // because only their G_H endpoint is colored. Then color G_L with a fresh

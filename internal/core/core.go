@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bsp"
 	"repro/internal/coloring"
+	"repro/internal/decomp"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mis"
@@ -65,6 +66,9 @@ const (
 	StrategyRand
 	// StrategyDegk uses the DEGk decomposition (Algorithms 6, 9, 12).
 	StrategyDegk
+	// StrategyMPX uses the Miller–Peng–Xu exponential-shift ball-growing
+	// decomposition (an extension beyond the paper's Table I).
+	StrategyMPX
 )
 
 // String names the strategy.
@@ -80,6 +84,8 @@ func (s Strategy) String() string {
 		return "RAND"
 	case StrategyDegk:
 		return "DEGk"
+	case StrategyMPX:
+		return "MPX"
 	default:
 		return "UNKNOWN"
 	}
@@ -116,6 +122,8 @@ type Options struct {
 	RandParts int
 	// DegK is the DEGk threshold; 0 uses the paper's k = 2.
 	DegK int
+	// MPXBeta is the MPX ball-growing rate; 0 uses decomp.DefaultMPXBeta.
+	MPXBeta float64
 	// Seed drives every randomized component; runs are deterministic
 	// under (Seed, options).
 	Seed uint64
@@ -135,6 +143,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DegK == 0 {
 		o.DegK = 2
+	}
+	if o.MPXBeta == 0 {
+		o.MPXBeta = decomp.DefaultMPXBeta
 	}
 	if o.Arch == ArchGPU && o.Machine == nil {
 		o.Machine = bsp.New()
@@ -209,6 +220,9 @@ func Solve(g *graph.Graph, p Problem, opt Options) (*Result, error) {
 	if opt.DegK < 0 {
 		return nil, fmt.Errorf("core: DegK must be ≥ 0, got %d", opt.DegK)
 	}
+	if opt.MPXBeta <= 0 {
+		return nil, fmt.Errorf("core: MPXBeta must be > 0, got %v", opt.MPXBeta)
+	}
 
 	res := &Result{Report: Report{Problem: p, Strategy: strategy, Arch: opt.Arch}}
 	var before bsp.Stats
@@ -278,6 +292,10 @@ func solveMM(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 		m, rep := matching.MMDegk(g, opt.DegK, alg)
 		res.Matching = m
 		fillMM(&res.Report, rep)
+	case StrategyMPX:
+		m, rep := matching.MMMPX(g, opt.MPXBeta, opt.Seed, alg)
+		res.Matching = m
+		fillMM(&res.Report, rep)
 	}
 }
 
@@ -316,6 +334,10 @@ func solveColor(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 		fillColor(&res.Report, rep)
 	case StrategyDegk:
 		c, rep := coloring.ColorDegk(g, opt.DegK, eng)
+		res.Coloring = c
+		fillColor(&res.Report, rep)
+	case StrategyMPX:
+		c, rep := coloring.ColorMPX(g, opt.MPXBeta, opt.Seed, eng)
 		res.Coloring = c
 		fillColor(&res.Report, rep)
 	}
@@ -366,6 +388,10 @@ func solveMIS(g *graph.Graph, strategy Strategy, opt Options, res *Result) {
 			kp = mis.KPSolverOn(opt.Machine.Launch)
 		}
 		s, rep := mis.MISDeg2With(g, alg, kp)
+		res.IndepSet = s
+		fillMIS(&res.Report, rep)
+	case StrategyMPX:
+		s, rep := mis.MISMPX(g, opt.MPXBeta, opt.Seed, alg)
 		res.IndepSet = s
 		fillMIS(&res.Report, rep)
 	}

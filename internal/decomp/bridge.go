@@ -52,9 +52,13 @@ func FindBridges(g *graph.Graph) *BridgeInfo {
 		n := g.NumVertices()
 
 		// STEP 1: parallel BFS forest (multi-source so disconnected inputs
-		// decompose too).
+		// decompose too), direction-optimizing via the frontier engine.
+		// Any BFS forest contains every bridge, and the deeper endpoint of
+		// a bridge is fixed by the (direction-independent) level array, so
+		// the bridge set and its listing order do not depend on which
+		// forest the hybrid traversal finds.
 		bfsSpan := trace.Begin("bfs")
-		tree := bfs.Forest(g)
+		tree := bfs.ForestHybrid(g)
 		bi.Rounds = tree.Depth
 		bfsSpan.Add("rounds", int64(tree.Depth))
 		bfsSpan.End()

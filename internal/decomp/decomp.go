@@ -11,6 +11,8 @@
 package decomp
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/graph"
@@ -29,6 +31,9 @@ const (
 	TechDegk
 	// TechLabelProp is the label-propagation (METIS stand-in) ablation.
 	TechLabelProp
+	// TechMPX is the Miller–Peng–Xu exponential-shift ball growing
+	// (an extension beyond the paper's three techniques).
+	TechMPX
 )
 
 // String returns the paper's name for the technique.
@@ -42,11 +47,31 @@ func (t Technique) String() string {
 		return "DEGk"
 	case TechLabelProp:
 		return "LABELPROP"
+	case TechMPX:
+		return "MPX"
 	case TechMultilevel:
 		return "MULTILEVEL"
 	default:
 		return "UNKNOWN"
 	}
+}
+
+// Techniques lists every technique, in display order. Parsing and table
+// code iterates this instead of hand-maintaining name lists.
+func Techniques() []Technique {
+	return []Technique{TechBridge, TechRand, TechDegk, TechMPX, TechLabelProp, TechMultilevel}
+}
+
+// ParseTechnique parses a technique name, case-insensitively, accepting
+// exactly the String() forms — so names round-trip between CLI flags,
+// harness table headers, and this parser.
+func ParseTechnique(s string) (Technique, error) {
+	for _, t := range Techniques() {
+		if strings.EqualFold(s, t.String()) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown decomposition technique %q (want bridge, rand, degk, mpx, labelprop or multilevel)", s)
 }
 
 // Result is a materialized decomposition.
@@ -61,6 +86,10 @@ func (t Technique) String() string {
 //     G_{k+1}, the edge-induced subgraph of the cross edges.
 //   - DEGk: Parts[0] = G_L (deg ≤ k), Parts[1] = G_H (deg > k); Cross is
 //     G_C.
+//   - MPX: like BRIDGE, Parts has one entry — the union of the grown
+//     balls, whose connected components are (unions of) the balls — and
+//     Cross is the edge-induced subgraph of the inter-ball edges. Label
+//     is the ball index and Balls the ball count.
 type Result struct {
 	Technique Technique
 	Parts     []*graph.Sub
@@ -70,6 +99,9 @@ type Result struct {
 	Label []int32
 	// Bridges is the bridge edge set (BRIDGE only), canonical orientation.
 	Bridges []graph.Edge
+	// Balls is the number of balls grown (MPX only). For MPX, Label[v] is
+	// the ball index of v (dense, ordered by center vertex id).
+	Balls int
 	// Rounds is the number of parallel rounds the decomposition ran
 	// (BRIDGE: BFS depth; others: 1).
 	Rounds int
@@ -113,5 +145,8 @@ func traceResult(sp *trace.Span, r *Result) {
 	sp.Add("rounds", int64(r.Rounds))
 	if len(r.Bridges) > 0 {
 		sp.Add("bridges", int64(len(r.Bridges)))
+	}
+	if r.Balls > 0 {
+		sp.Add("balls", int64(r.Balls))
 	}
 }

@@ -29,6 +29,7 @@ const (
 	colBridge   = 1
 	colRand     = 2
 	colDegk     = 3
+	colMPX      = 4
 )
 
 // Table2 reproduces Table II: the dataset statistics, measured on the
@@ -64,7 +65,7 @@ func Fig2(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		Title:  "Figure 2: decomposition time per technique",
-		Header: []string{"graph", "BRIDGE", "RAND(10)", "DEG2", "LABELPROP(8)", "BFS rounds"},
+		Header: []string{"graph", "BRIDGE", "RAND(10)", "DEG2", "MPX(0.2)", "LABELPROP(8)", "BFS rounds"},
 	}
 	for _, spec := range cfg.specs() {
 		g := dataset.Load(spec, cfg.Scale, cfg.Seed)
@@ -83,9 +84,10 @@ func Fig2(cfg Config) *Table {
 		})
 		rand := avg(func() time.Duration { return decomp.Rand(g, 10, cfg.Seed).Elapsed })
 		degk := avg(func() time.Duration { return decomp.Degk(g, 2).Elapsed })
+		mpx := avg(func() time.Duration { return decomp.MPX(g, decomp.DefaultMPXBeta, cfg.Seed).Elapsed })
 		lp := avg(func() time.Duration { return decomp.LabelProp(g, 8, 5, cfg.Seed).Elapsed })
 		t.Rows = append(t.Rows, []string{
-			spec.Name, fmtDur(bridge), fmtDur(rand), fmtDur(degk), fmtDur(lp),
+			spec.Name, fmtDur(bridge), fmtDur(rand), fmtDur(degk), fmtDur(mpx), fmtDur(lp),
 			fmt.Sprintf("%d", rounds),
 		})
 	}
@@ -116,7 +118,7 @@ func colNames(p core.Problem, arch core.Arch) []string {
 	prefix := map[core.Problem]string{
 		core.ProblemMM: "MM", core.ProblemColor: "COLOR", core.ProblemMIS: "MIS",
 	}[p]
-	return []string{base, prefix + "-Bridge", prefix + "-Rand", prefix + "-Degk"}
+	return []string{base, prefix + "-Bridge", prefix + "-Rand", prefix + "-Degk", prefix + "-MPX"}
 }
 
 // Fig3 reproduces Figure 3 (a: CPU, b: GPU): absolute MM timings with the
@@ -201,6 +203,15 @@ func Table1(cfg Config) *Table {
 	add("COLOR", core.ArchGPU, colGPU, colRand, nil, "RAND 1x")
 	add("MIS", core.ArchCPU, misCPU, colDegk, nil, "DEGk 3.39x")
 	add("MIS", core.ArchGPU, misGPU, colDegk, misGPUAvgExcludes, "DEGk 2.16x")
+	// MPX rows: an extension beyond the paper (no published number).
+	add("MM", core.ArchCPU, mmCPU, colMPX, mmAvgExcludes, "—")
+	add("MM", core.ArchGPU, mmGPU, colMPX, mmAvgExcludes, "—")
+	add("COLOR", core.ArchCPU, colCPU, colMPX, nil, "—")
+	add("COLOR", core.ArchGPU, colGPU, colMPX, nil, "—")
+	add("MIS", core.ArchCPU, misCPU, colMPX, nil, "—")
+	add("MIS", core.ArchGPU, misGPU, colMPX, misGPUAvgExcludes, "—")
+	t.Notes = append(t.Notes,
+		"MPX (Miller–Peng–Xu ball growing) is an extension beyond the paper's three decompositions")
 	return t
 }
 
@@ -213,6 +224,8 @@ func strategyColName(col int) string {
 		return "RAND"
 	case colDegk:
 		return "DEGk"
+	case colMPX:
+		return "MPX"
 	default:
 		return "BASELINE"
 	}
@@ -225,14 +238,14 @@ func ColorCounts(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		Title:  "Color counts: extra colors vs baseline (avg %)",
-		Header: []string{"arch", "COLOR-Bridge", "COLOR-Rand", "COLOR-Degk", "paper (Bridge/Rand/Degk)"},
+		Header: []string{"arch", "COLOR-Bridge", "COLOR-Rand", "COLOR-Degk", "COLOR-MPX", "paper (Bridge/Rand/Degk)"},
 	}
 	for _, arch := range []core.Arch{core.ArchCPU, core.ArchGPU} {
 		grid := RunGrid(cfg, core.ProblemColor, arch)
-		var overhead [4]float64
+		var overhead [5]float64
 		for _, name := range grid.Graphs {
 			base := float64(grid.Cells[name][colBaseline].NumColors)
-			for c := 1; c <= 3; c++ {
+			for c := 1; c <= 4; c++ {
 				overhead[c] += 100 * (float64(grid.Cells[name][c].NumColors) - base) / base
 			}
 		}
@@ -246,6 +259,7 @@ func ColorCounts(cfg Config) *Table {
 			fmt.Sprintf("%+.1f%%", overhead[colBridge]/n),
 			fmt.Sprintf("%+.1f%%", overhead[colRand]/n),
 			fmt.Sprintf("%+.1f%%", overhead[colDegk]/n),
+			fmt.Sprintf("%+.1f%%", overhead[colMPX]/n),
 			paper,
 		})
 	}
@@ -336,26 +350,30 @@ func AblationOrder(cfg Config) *Table {
 	return t
 }
 
-// DecompStats reports, per instance, how the three decompositions split the
+// DecompStats reports, per instance, how the decompositions split the
 // edges (intra-part vs cross) — the quantity that explains MM-Rand's
-// sparsification and COLOR-Rand's conflicts.
+// sparsification and COLOR-Rand's conflicts — plus the structures each
+// technique discovers (bridges; MPX balls).
 func DecompStats(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		Title:  "Decomposition edge split (intra-part edges / cross edges)",
-		Header: []string{"graph", "BRIDGE", "RAND(10)", "DEG2", "bridges"},
+		Header: []string{"graph", "BRIDGE", "RAND(10)", "DEG2", "MPX(0.2)", "bridges", "balls"},
 	}
 	for _, spec := range cfg.specs() {
 		g := dataset.Load(spec, cfg.Scale, cfg.Seed)
 		br := decomp.Bridge(g)
 		rd := decomp.Rand(g, 10, cfg.Seed)
 		dk := decomp.Degk(g, 2)
+		mx := decomp.MPX(g, decomp.DefaultMPXBeta, cfg.Seed)
 		t.Rows = append(t.Rows, []string{
 			spec.Name,
 			fmt.Sprintf("%d/%d", br.PartEdges(), br.CrossEdges()),
 			fmt.Sprintf("%d/%d", rd.PartEdges(), rd.CrossEdges()),
 			fmt.Sprintf("%d/%d", dk.PartEdges(), dk.CrossEdges()),
+			fmt.Sprintf("%d/%d", mx.PartEdges(), mx.CrossEdges()),
 			fmt.Sprintf("%d", len(br.Bridges)),
+			fmt.Sprintf("%d", mx.Balls),
 		})
 	}
 	return t

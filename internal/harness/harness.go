@@ -150,9 +150,11 @@ type Cell struct {
 	NumColors int32
 }
 
-// strategyList is the grid column order, matching the paper's figures.
+// strategyList is the grid column order: the paper's figures (baseline +
+// its three decompositions) plus the MPX extension as a fifth column.
 var strategyList = []core.Strategy{
 	core.StrategyBaseline, core.StrategyBridge, core.StrategyRand, core.StrategyDegk,
+	core.StrategyMPX,
 }
 
 // measure runs one (graph, problem, strategy, arch) cell Repeats times and
@@ -229,7 +231,7 @@ type Grid struct {
 	Cells   map[string][]Cell
 }
 
-// RunGrid measures baseline + the three decompositions for a problem on an
+// RunGrid measures baseline + the four decompositions for a problem on an
 // architecture across the configured instances.
 func RunGrid(cfg Config, p core.Problem, arch core.Arch) *Grid {
 	cfg = cfg.withDefaults()

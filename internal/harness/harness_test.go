@@ -63,7 +63,7 @@ func TestRunGridShapeAndSpeedups(t *testing.T) {
 	}
 	for _, name := range grid.Graphs {
 		row := grid.Cells[name]
-		if len(row) != 4 {
+		if len(row) != 5 {
 			t.Fatalf("%s: %d cells", name, len(row))
 		}
 		for _, c := range row {
@@ -73,6 +73,9 @@ func TestRunGridShapeAndSpeedups(t *testing.T) {
 		}
 		if s := grid.Speedup(name, colDegk); s <= 0 {
 			t.Fatalf("%s: speedup %f", name, s)
+		}
+		if s := grid.Speedup(name, colMPX); s <= 0 {
+			t.Fatalf("%s: MPX speedup %f", name, s)
 		}
 	}
 	// Baseline column speedup is identically 1.
@@ -101,7 +104,7 @@ func TestTable2Runs(t *testing.T) {
 func TestFig2Runs(t *testing.T) {
 	defer dataset.ClearCache()
 	tb := Fig2(tiny())
-	if len(tb.Rows) != 3 || len(tb.Header) != 6 {
+	if len(tb.Rows) != 3 || len(tb.Header) != 7 {
 		t.Fatalf("Fig2 shape %dx%d", len(tb.Rows), len(tb.Header))
 	}
 }

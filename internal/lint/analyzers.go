@@ -13,10 +13,12 @@ import (
 var (
 	solverScope = prefixed(
 		"decomp", "matching", "coloring", "mis", "bsp", "graph", "core",
+		"frontier",
 	)
 	kernelScope = prefixed(
 		"decomp", "matching", "coloring", "mis", "bsp", "graph", "core",
 		"multilevel", "seq", "gen", "bfs", "biconn", "bipartite",
+		"frontier",
 	)
 )
 

@@ -194,3 +194,22 @@ func TestAnalyzersSuiteShape(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontierEngineInScope pins the frontier engine into the determinism
+// scopes: its fan-out paths (EdgeMap push/pull, Subset conversions) must be
+// rawgo- and detrange-checked like every other solver package, and must not
+// ride on the par exclusion.
+func TestFrontierEngineInScope(t *testing.T) {
+	Analyzers() // assigns the scopes
+	const path = "repro/internal/frontier"
+	for _, a := range []*Analyzer{Detrange, Detrand, Rawgo} {
+		if !a.AppliesTo(path) {
+			t.Errorf("%s does not cover %s", a.Name, path)
+		}
+	}
+	for _, excl := range Rawgo.Exclude {
+		if excl == path {
+			t.Errorf("rawgo excludes %s", path)
+		}
+	}
+}

@@ -36,3 +36,24 @@ func mutexIsFine() {
 func allowed(done chan struct{}) {
 	go close(done) //lint:allow rawgo
 }
+
+// edgeMapFanOut mirrors the frontier engine's push round: per-chunk output
+// buffers filled in parallel, then merged. Hand-rolled goroutine fan-out
+// here is exactly what the engine must not do — it has to go through
+// internal/par so chunk boundaries (and thus buffer order) stay a pure
+// function of (n, workers).
+func edgeMapFanOut(frontier []int32, nchunks int) [][]int32 {
+	bufs := make([][]int32, nchunks)
+	var wg sync.WaitGroup // want `sync.WaitGroup in solver code`
+	for c := 0; c < nchunks; c++ {
+		wg.Add(1)
+		go func(c int) { // want `goroutine spawned directly in solver code`
+			defer wg.Done()
+			lo := c * len(frontier) / nchunks
+			hi := (c + 1) * len(frontier) / nchunks
+			bufs[c] = append(bufs[c], frontier[lo:hi]...)
+		}(c)
+	}
+	wg.Wait()
+	return bufs
+}

@@ -118,6 +118,46 @@ func MMRand(g *graph.Graph, k int, seed uint64, mm Algorithm) (*Matching, Report
 	return m, rep
 }
 
+// MMMPX is the MPX analogue of Algorithm 5 (an extension beyond the
+// paper): grow exponential-shift balls, match the union of the balls
+// G_IS = ∪ᵢ G[Bᵢ], then the inter-ball graph restricted to still-unmatched
+// vertices. Where RAND fixes the part count k, MPX fixes the rate beta and
+// the ball count falls out of the shifts.
+func MMMPX(g *graph.Graph, beta float64, seed uint64, mm Algorithm) (*Matching, Report) {
+	rep := Report{Strategy: "MM-MPX"}
+	n := g.NumVertices()
+
+	dsp := trace.Begin("decomp")
+	decompStart := time.Now()
+	info := decomp.MPXGrow(g, beta, seed)
+	center := info.Center
+	gis := graph.RemoveEdges(g, func(u, v int32) bool { return center[u] == center[v] })
+	cross := graph.EdgeInducedSubgraph(g, func(u, v int32) bool { return center[u] != center[v] })
+	rep.Decomp = time.Since(decompStart)
+	if trace.Enabled() {
+		dsp.Add("parts", int64(info.Balls))
+		dsp.Add("cross_edges", int64(cross.G.NumEdges()))
+	}
+	dsp.End()
+
+	start := time.Now()
+	m := NewMatching(n)
+	// M_IS ← MM(G_IS): the balls' union keeps global vertex ids.
+	sp := trace.Begin("solve/parts")
+	mi, st := mm(gis)
+	sp.Add("rounds", int64(st.Rounds))
+	sp.Add("matched", st.Matched)
+	sp.End()
+	rep.Rounds += st.Rounds
+	par.Copy(m.Mate, mi.Mate)
+	// The inter-ball edges on unmatched vertices.
+	sp = trace.Begin("solve/cross")
+	rep.Rounds += solveOnUnmatched(m.Mate, cross, mm)
+	sp.End()
+	rep.Solve = time.Since(start)
+	return m, rep
+}
+
 // MMDegk is the paper's Algorithm 6: degree-k decomposition (k = 2 in the
 // paper), match the high-degree subgraph G_H first, then G_L ∪ G_C
 // restricted to unmatched vertices.

@@ -187,28 +187,64 @@ func MISRandOrdered(g *graph.Graph, k int, seed uint64, solver Solver, ord Order
 	par.For(n, func(i int) {
 		label[i] = int32(par.HashRange(seed, int64(i), k))
 	})
-	hasCross := make([]bool, n)
-	var partEdges int64
-	{
-		cnt := par.Sum(n, func(i int) int64 {
-			v := int32(i)
-			var intra int64
-			cross := false
-			for _, w := range g.Neighbors(v) {
-				if label[w] == label[v] {
-					intra++
-				} else {
-					cross = true
-				}
-			}
-			hasCross[i] = cross
-			return intra
-		})
-		partEdges = cnt / 2
-	}
+	hasCross, partEdges := crossClassify(g, label)
 	rep.Decomp = time.Since(decompStart)
 	dsp.End()
 
+	set := labeledTwoPhase(&rep, g, hasCross, partEdges, solver, ord)
+	return set, rep
+}
+
+// MISMPX is the MPX analogue of Algorithm 11 (an extension beyond the
+// paper): grow exponential-shift balls, then run the two masked phases
+// over the ball labels — the vertices with no inter-ball edge and the
+// reduced remainder, sparser side first.
+func MISMPX(g *graph.Graph, beta float64, seed uint64, solver Solver) (*IndepSet, Report) {
+	return MISMPXOrdered(g, beta, seed, solver, OrderAuto)
+}
+
+// MISMPXOrdered is MISMPX with an explicit phase order (ablation).
+func MISMPXOrdered(g *graph.Graph, beta float64, seed uint64, solver Solver, ord Order) (*IndepSet, Report) {
+	rep := Report{Strategy: "MIS-MPX"}
+
+	dsp := trace.Begin("decomp")
+	decompStart := time.Now()
+	info := decomp.MPXGrow(g, beta, seed)
+	hasCross, partEdges := crossClassify(g, info.Center)
+	rep.Decomp = time.Since(decompStart)
+	dsp.End()
+
+	set := labeledTwoPhase(&rep, g, hasCross, partEdges, solver, ord)
+	return set, rep
+}
+
+// crossClassify marks, for a per-vertex part labeling, the vertices with
+// at least one cross edge, and counts the intra-part edges.
+func crossClassify(g *graph.Graph, label []int32) (hasCross []bool, partEdges int64) {
+	n := g.NumVertices()
+	hasCross = make([]bool, n)
+	cnt := par.Sum(n, func(i int) int64 {
+		v := int32(i)
+		var intra int64
+		cross := false
+		for _, w := range g.Neighbors(v) {
+			if label[w] == label[v] {
+				intra++
+			} else {
+				cross = true
+			}
+		}
+		hasCross[i] = cross
+		return intra
+	})
+	return hasCross, cnt / 2
+}
+
+// labeledTwoPhase is the shared solve of the label-based decompositions
+// (RAND, MPX): masked phase over the sparser of the no-cross side and the
+// cross side, then the reduced remainder.
+func labeledTwoPhase(rep *Report, g *graph.Graph, hasCross []bool, partEdges int64, solver Solver, ord Order) *IndepSet {
+	n := g.NumVertices()
 	start := time.Now()
 	set := NewIndepSet(n)
 	crossVerts := par.Count(n, func(i int) bool { return hasCross[i] })
@@ -231,7 +267,7 @@ func MISRandOrdered(g *graph.Graph, k int, seed uint64, solver Solver, ord Order
 	sp.End()
 	rep.Rounds += st.Rounds
 	rep.Solve = time.Since(start)
-	return set, rep
+	return set
 }
 
 // MISDeg2 is the paper's Algorithm 12: classify vertices by the degree-2

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -43,19 +44,22 @@ func KPDeg2(g *graph.Graph) (*IndepSet, Stats) {
 	return freshRun(g, KPSolver())
 }
 
-// kpRun is the masked fixed-priority local-minima loop with active-list
-// compaction (the special-purpose solver's work tracks the shrinking
-// residual; compaction is host-side, as thrust would do it).
+// kpRun is the masked fixed-priority local-minima loop. The active set
+// lives in a frontier.Subset and compacts with frontier.Filter each round
+// (host-side, as thrust would do it); the per-round sweeps stay on the
+// injected executor so GPU runs charge them to the virtual machine.
 func kpRun(g *graph.Graph, exec func(n int, kernel func(i int)),
 	status []State, set *IndepSet, active []int32) Stats {
 	var st Stats
 	// The orientation: id-scrambled priority, fixed for the whole run.
 	prio := func(v int32) uint64 { return par.Hash64(0x927d5f3a, int64(v)) }
 
-	for len(active) > 0 {
+	act := frontier.New(g.NumVertices(), active)
+	for !act.IsEmpty() {
 		st.Rounds++
-		exec(len(active), func(i int) {
-			v := active[i]
+		vs := act.Vertices()
+		exec(len(vs), func(i int) {
+			v := vs[i]
 			pv := prio(v)
 			win := true
 			for _, w := range g.Neighbors(v) {
@@ -72,8 +76,8 @@ func kpRun(g *graph.Graph, exec func(n int, kernel func(i int)),
 				set.In[v] = true
 			}
 		})
-		exec(len(active), func(i int) {
-			v := active[i]
+		exec(len(vs), func(i int) {
+			v := vs[i]
 			if set.In[v] {
 				status[v] = StateIn
 				return
@@ -85,7 +89,7 @@ func kpRun(g *graph.Graph, exec func(n int, kernel func(i int)),
 				}
 			}
 		})
-		active = par.Filter(active, func(v int32) bool { return status[v] == StateUndecided })
+		act = frontier.Filter(act, func(v int32) bool { return status[v] == StateUndecided })
 	}
 	return st
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bsp"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/trace"
@@ -150,52 +151,44 @@ func lubyRun(g *graph.Graph, seed uint64, exec func(n int, kernel func(i int)),
 	return st
 }
 
-// greedyRun is the fixed-priority local-minima loop (Blelloch et al.), with
-// active-list compaction — the greedy algorithm's work is naturally
-// proportional to the shrinking residual.
+// greedyRun is the fixed-priority local-minima loop (Blelloch et al.). The
+// active set lives in a frontier.Subset; each round vertex-maps the two
+// phases over it and compacts with frontier.Filter, so the greedy
+// algorithm's work is naturally proportional to the shrinking residual.
 func greedyRun(g *graph.Graph, seed uint64, status []State, set *IndepSet, active []int32) Stats {
 	var st Stats
 	prio := func(v int32) uint64 { return par.Hash64(seed, int64(v)) }
-	for len(active) > 0 {
+	act := frontier.New(g.NumVertices(), active)
+	for !act.IsEmpty() {
 		st.Rounds++
-		par.Range(len(active), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := active[i]
-				pv := prio(v)
-				win := true
-				for _, w := range g.Neighbors(v) {
-					if status[w] != StateUndecided {
-						continue
-					}
-					pw := prio(w)
-					if pw < pv || (pw == pv && w < v) {
-						win = false
-						break
-					}
-				}
-				if win {
-					set.In[v] = true
-				}
-			}
-		})
-		par.Range(len(active), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := active[i]
-				if set.In[v] {
-					status[v] = StateIn
+		frontier.Map(act, func(v int32) {
+			pv := prio(v)
+			for _, w := range g.Neighbors(v) {
+				if status[w] != StateUndecided {
 					continue
 				}
-				for _, w := range g.Neighbors(v) {
-					if set.In[w] {
-						status[v] = StateOut
-						break
-					}
+				pw := prio(w)
+				if pw < pv || (pw == pv && w < v) {
+					return // a higher-priority undecided neighbor: wait
+				}
+			}
+			set.In[v] = true
+		})
+		frontier.Map(act, func(v int32) {
+			if set.In[v] {
+				status[v] = StateIn
+				return
+			}
+			for _, w := range g.Neighbors(v) {
+				if set.In[w] {
+					status[v] = StateOut
+					return
 				}
 			}
 		})
-		active = par.Filter(active, func(v int32) bool { return status[v] == StateUndecided })
+		act = frontier.Filter(act, func(v int32) bool { return status[v] == StateUndecided })
 		if trace.Enabled() {
-			trace.Append("frontier", int64(len(active)))
+			trace.Append("frontier", int64(act.Size()))
 		}
 	}
 	return st
