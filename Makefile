@@ -3,7 +3,7 @@ GO ?= go
 # bench-gate: max allowed slowdown (percent) before the gate fails.
 GATE_THRESHOLD ?= 2
 
-.PHONY: build test race vet lint bench-smoke bench-gate bench-par serve-demo fmt fmt-check
+.PHONY: build test race vet lint bench-smoke bench-gate bench-par serve-demo serve-smoke fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,12 @@ bench-par:
 # it runs (use -repeats to stretch the run).
 serve-demo:
 	$(GO) run ./cmd/benchall -exp fig3 -repeats 3 -serve :9090
+
+# End-to-end daemon check: boot `symbreak -serve` with a small corpus,
+# drive it with symload for a few seconds, verify the serve metrics moved
+# on /metrics, and shut down gracefully. See docs/OPS.md.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

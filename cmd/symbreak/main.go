@@ -8,20 +8,30 @@
 //	symbreak -problem mm -strategy rand -arch gpu rgg-n-2-23-s0
 //	symbreak -problem color -strategy auto -file graph.txt
 //	symbreak -problem mm lp1 -serve :9090   # live /metrics + /trace + pprof
+//	symbreak -serve :9090 -corpus all       # daemon: POST /solve answers requests
 //
-// With -serve the process keeps serving after the solve completes (until
-// interrupted) so the run's span tree and profiles can be inspected.
+// With -serve and a graph argument the process keeps serving after the
+// solve completes (until interrupted) so the run's span tree and profiles
+// can be inspected. With -serve and no graph argument symbreak runs as a
+// daemon: it loads the corpus named by -corpus / -corpus-dir and answers
+// POST /solve requests (see docs/API.md) until SIGINT or SIGTERM, then
+// drains in-flight requests for up to -drain before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -36,15 +46,45 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	file := flag.String("file", "", "read a graph from a file (edge list, or METIS for .graph/.metis)")
-	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (/metrics, /healthz, /trace, /debug/pprof/); keeps serving after the solve until interrupted")
+	serveAddr := flag.String("serve", "", "serve HTTP on this address: /metrics, /healthz, /trace, /debug/pprof/, and — with a corpus — POST /solve; without a graph argument runs as a daemon")
+	corpus := flag.String("corpus", "", "comma-separated dataset instances to serve (or \"all\"); implies daemon endpoints")
+	corpusDir := flag.String("corpus-dir", "", "directory of graph files to serve (edge list, or METIS for .graph/.metis)")
+	corpusScale := flag.Float64("corpus-scale", 1.0, "scale factor for generated corpus datasets")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+	serveWorkers := flag.Int("serve-workers", 0, "admission worker budget in units (0 = number of workers)")
+	serveQueue := flag.Int("serve-queue", 0, "admission queue depth (0 = default 64, negative = no queue: reject immediately under load)")
+	serveQueueTimeout := flag.Duration("serve-queue-timeout", 0, "max time a request may queue for admission before 503 (0 = default 2s)")
+	serveCacheBytes := flag.Int64("serve-cache-bytes", 0, "solution cache byte budget (0 = default 256 MiB, negative = disable)")
+	serveUnitEdges := flag.Int64("serve-unit-edges", 0, "graph edges per admission unit (0 = default 256Ki)")
+	serveMaxInline := flag.Int("serve-max-inline", 0, "max inline edges accepted by POST /solve (0 = default 1Mi)")
 	flag.Parse()
 
+	oneShot := *file != "" || len(flag.Args()) > 0
+	daemon := *serveAddr != "" && !oneShot
+	if *serveAddr == "" && (*corpus != "" || *corpusDir != "") {
+		fatal(fmt.Errorf("-corpus/-corpus-dir need -serve"))
+	}
+
 	var srv *telemetry.Server
-	if *serve != "" {
+	var svc *serve.Service
+	if *serveAddr != "" {
 		telemetry.Enable(true)
 		trace.Enable(true)
+		mux := telemetry.NewMux(telemetry.Default)
+		if daemon || *corpus != "" || *corpusDir != "" {
+			svc = serve.New(serve.Config{
+				Corpus:         buildCorpus(*corpus, *corpusDir, *corpusScale, *seed),
+				WorkerBudget:   *serveWorkers,
+				QueueDepth:     *serveQueue,
+				QueueTimeout:   *serveQueueTimeout,
+				CacheBytes:     *serveCacheBytes,
+				EdgesPerUnit:   *serveUnitEdges,
+				MaxInlineEdges: *serveMaxInline,
+			})
+			svc.Mount(mux)
+		}
 		var err error
-		srv, err = telemetry.Serve(*serve, telemetry.Default)
+		srv, err = telemetry.ServeHandler(*serveAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
@@ -53,31 +93,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "symbreak: telemetry on %s/metrics\n", srv.URL())
 	}
 
-	g, err := cli.LoadGraph(*file, flag.Args(), *scale, *seed)
+	if oneShot {
+		runOnce(*file, flag.Args(), *scale, *seed, *problem, *strategy, *archFlag, *parts, *k, *beta)
+		if srv == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "symbreak: serving on %s — Ctrl-C to exit\n", srv.URL())
+	} else if daemon {
+		fmt.Fprintf(os.Stderr, "symbreak: serving %d corpus graphs on %s/solve — Ctrl-C to exit\n",
+			svc.CorpusLen(), srv.URL())
+	} else {
+		// No graph and no -serve: keep the historical one-shot error.
+		if _, err := cli.LoadGraph(*file, flag.Args(), *scale, *seed); err != nil {
+			fatal(err)
+		}
+	}
+
+	awaitShutdown(srv, svc, *drain)
+}
+
+// buildCorpus assembles the daemon's graph corpus from the -corpus and
+// -corpus-dir flags.
+func buildCorpus(names, dir string, scale float64, seed uint64) *serve.Corpus {
+	c := serve.NewCorpus()
+	if names != "" {
+		if err := c.AddDatasets(strings.Split(names, ","), scale, seed); err != nil {
+			fatal(err)
+		}
+	}
+	if dir != "" {
+		if err := c.AddDir(dir); err != nil {
+			fatal(err)
+		}
+	}
+	return c
+}
+
+// runOnce is the classic single-solve path: load, solve, verify, report.
+func runOnce(file string, args []string, scale float64, seed uint64,
+	problem, strategy, archFlag string, parts, k int, beta float64) {
+	g, err := cli.LoadGraph(file, args, scale, seed)
 	if err != nil {
 		fatal(err)
 	}
-	p, err := cli.ParseProblem(*problem)
+	p, err := cli.ParseProblem(problem)
 	if err != nil {
 		fatal(err)
 	}
-	s, err := cli.ParseStrategy(*strategy)
+	s, err := cli.ParseStrategy(strategy)
 	if err != nil {
 		fatal(err)
 	}
-	arch, err := cli.ParseArch(*archFlag)
+	arch, err := cli.ParseArch(archFlag)
 	if err != nil {
 		fatal(err)
 	}
 
-	res, err := core.Solve(g, p, core.Options{
-		Strategy: s, Arch: arch, RandParts: *parts, DegK: *k, MPXBeta: *beta, Seed: *seed,
+	res, err := core.SolveVerified(g, p, core.Options{
+		Strategy: s, Arch: arch, RandParts: parts, DegK: k, MPXBeta: beta, Seed: seed,
 	})
 	if err != nil {
 		fatal(err)
-	}
-	if err := core.Verify(g, res); err != nil {
-		fatal(fmt.Errorf("solution failed verification: %v", err))
 	}
 
 	fmt.Printf("graph:      |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
@@ -100,15 +176,29 @@ func main() {
 	case res.IndepSet != nil:
 		fmt.Printf("mis:        %d vertices (verified maximal)\n", res.IndepSet.Size())
 	}
+}
 
-	if srv != nil {
-		// Keep the endpoints up for inspection: the span tree of the
-		// solve stays live on /trace and profiles on /debug/pprof/.
-		fmt.Fprintf(os.Stderr, "symbreak: serving on %s — Ctrl-C to exit\n", srv.URL())
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
-		srv.Close()
+// awaitShutdown blocks until SIGINT or SIGTERM, then drains the HTTP
+// server gracefully: in-flight solves get up to the drain deadline to
+// finish before connections are closed hard.
+func awaitShutdown(srv *telemetry.Server, svc *serve.Service, drain time.Duration) {
+	if srv == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	fmt.Fprintf(os.Stderr, "symbreak: %v — draining for up to %v\n", sig, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "symbreak: shutdown: %v\n", err)
+	}
+	if svc != nil {
+		s := svc.Snapshot()
+		fmt.Fprintf(os.Stderr,
+			"symbreak: served %d runs (%d coalesced, %d cache hits, %d misses, %d evictions)\n",
+			s.Runs, s.Coalesced, s.CacheHits, s.CacheMisses, s.Evicted)
 	}
 }
 

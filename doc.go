@@ -30,18 +30,22 @@
 //	internal/harness    experiment grid runner and table/figure formatters
 //	internal/trace      phase/round span tracing (zero-cost when disabled) + Perfetto export
 //	internal/telemetry  live metrics registry, samplers, /metrics + pprof HTTP server
+//	internal/serve      HTTP solve service: corpus, coalescing, solution cache, admission control
 //	internal/benchfmt   go test -bench output parsing + regression compare
 //	internal/lint       symlint analyzers: determinism / trace / runtime invariants
 //	internal/cli        shared command-line plumbing
 //	cmd/benchall        regenerate every table and figure
-//	cmd/symbreak        solve one problem on one instance
+//	cmd/symbreak        solve one problem on one instance, or serve a corpus as a daemon
+//	cmd/symload         load driver: hammer a symbreak daemon, report p50/p95/p99
 //	cmd/decomp          run one decomposition
 //	cmd/graphgen        write dataset instances to edge-list files
 //	cmd/graphstat       Table II statistics
 //	cmd/symlint         static-analysis driver (standalone or go vet -vettool)
-//	scripts/            bench2json.go: bench → JSON conversion + regression gate
+//	scripts/            bench2json.go (bench → JSON + regression gate), serve_smoke.sh
+//	docs/               OPS.md (operator guide), API.md (HTTP solve API reference)
 //	examples/           quickstart + four domain scenarios
 //
-// See DESIGN.md for the system inventory and per-experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, docs/OPS.md for running
+// the solve daemon, and docs/API.md for its HTTP contract.
 package repro

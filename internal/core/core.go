@@ -132,6 +132,15 @@ type Options struct {
 	Machine *bsp.Machine
 }
 
+// Normalized returns the options with the paper's defaults filled in —
+// the same resolution Solve applies internally. Callers that key caches or
+// coalesce identical requests (the serving layer) normalize first, so a
+// request that spells out a default and one that leaves it zero map to the
+// same key. Note Normalized materializes a fresh bsp.Machine for GPU
+// options with a nil Machine; key builders should hash the scalar fields
+// only.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // withDefaults fills in the paper's defaults.
 func (o Options) withDefaults() Options {
 	if o.RandParts == 0 {
@@ -402,6 +411,87 @@ func fillMIS(r *Report, rep mis.Report) {
 	r.Decomp = rep.Decomp
 	r.Solve = rep.Solve
 	r.Rounds = rep.Rounds
+}
+
+// SolveVerified runs Solve and then Verify, returning the result only if
+// the solution re-checks against g. It is the entry point request-serving
+// paths share with cmd/symbreak: one call that either yields a verified
+// solution or an error, never an unchecked result.
+func SolveVerified(g *graph.Graph, p Problem, opt Options) (*Result, error) {
+	res, err := Solve(g, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(g, res); err != nil {
+		return nil, fmt.Errorf("core: solution failed verification: %w", err)
+	}
+	return res, nil
+}
+
+// fnv1a64 parameters for SolutionDigest.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func digestMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// SolutionDigest returns a 64-bit FNV-1a content hash of the solution
+// payload — the Mate, Color, or In array, tagged by problem kind. Because
+// every solver is deterministic under (seed, options) for any worker
+// count (the determinism sweep pins this), the digest is a compact
+// equality witness for "same request, same answer": the serving layer
+// returns it in every /solve response and the end-to-end tests compare it
+// across servers. Returns 0 for a Result holding no solution.
+func (r *Result) SolutionDigest() uint64 {
+	h := uint64(fnvOffset64)
+	switch {
+	case r.Matching != nil:
+		h = digestMix(h, uint64(ProblemMM))
+		for _, m := range r.Matching.Mate {
+			h = digestMix(h, uint64(uint32(m)))
+		}
+	case r.Coloring != nil:
+		h = digestMix(h, uint64(ProblemColor))
+		for _, c := range r.Coloring.Color {
+			h = digestMix(h, uint64(uint32(c)))
+		}
+	case r.IndepSet != nil:
+		h = digestMix(h, uint64(ProblemMIS))
+		for _, in := range r.IndepSet.In {
+			var b uint64
+			if in {
+				b = 1
+			}
+			h = digestMix(h, b)
+		}
+	default:
+		return 0
+	}
+	return h
+}
+
+// SolutionCount returns the problem's headline cardinality: matched edges
+// for MM, palette size for COLOR, member count for MIS. Returns 0 for a
+// Result holding no solution.
+func (r *Result) SolutionCount() int64 {
+	switch {
+	case r.Matching != nil:
+		return r.Matching.Cardinality()
+	case r.Coloring != nil:
+		return int64(r.Coloring.NumColors())
+	case r.IndepSet != nil:
+		return r.IndepSet.Size()
+	default:
+		return 0
+	}
 }
 
 // Verify re-checks the solution in a Result against the graph it was

@@ -1,13 +1,3 @@
-// Package decomp implements the paper's three light-weight graph
-// decompositions (Section II): BRIDGE (Algorithm 1), RAND (Algorithm 2) and
-// DEGk (Algorithm 3), plus a label-propagation partitioner used only for
-// the METIS ablation (the paper's Remark 1 excludes real METIS because
-// partitioning alone costs more than the symmetry-breaking baselines).
-//
-// Every decomposition returns a Result: materialized subgraphs with
-// local→global vertex maps, the technique-specific extras (bridge list,
-// vertex labels), and the decomposition wall time — the quantity Figure 2
-// of the paper reports.
 package decomp
 
 import (

@@ -1,0 +1,37 @@
+package graph
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a parameters; the hash is
+// computed inline (rather than through hash/fnv) so the CSR arrays are
+// mixed word-at-a-time without a byte-serialization pass.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// fnvMix64 folds one 64-bit word into an FNV-1a state byte by byte.
+func fnvMix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit FNV-1a content hash of the graph: the
+// vertex count followed by the CSR offset and adjacency arrays. Because a
+// Graph is immutable and its CSR form is canonical (adjacency sorted
+// ascending, each undirected edge stored twice), equal graphs — however
+// they were constructed — have equal fingerprints, and the value is stable
+// across processes and worker counts. The serving layer uses it as the
+// graph component of solve-cache and request-coalescing keys.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnvMix64(uint64(fnvOffset64), uint64(g.NumVertices()))
+	for _, o := range g.off {
+		h = fnvMix64(h, uint64(o))
+	}
+	for _, v := range g.adj {
+		h = fnvMix64(h, uint64(v))
+	}
+	return h
+}

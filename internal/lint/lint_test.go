@@ -213,3 +213,19 @@ func TestFrontierEngineInScope(t *testing.T) {
 		}
 	}
 }
+
+// TestServeLayerCovered pins the serving layer into the unscoped
+// invariants: every metric publication in internal/serve and the command
+// wiring must stay behind telemetry.Enabled() (gatedmetrics), spans must
+// pair, and sorts must go through par — none of these packages may ride
+// on an exclusion.
+func TestServeLayerCovered(t *testing.T) {
+	Analyzers() // assigns the scopes
+	for _, path := range []string{"repro/internal/serve", "repro/cmd/symbreak", "repro/cmd/symload"} {
+		for _, a := range []*Analyzer{Gatedmetrics, Spanpair, Noslicesort} {
+			if !a.AppliesTo(path) {
+				t.Errorf("%s does not cover %s", a.Name, path)
+			}
+		}
+	}
+}

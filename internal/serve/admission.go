@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission outcomes surfaced as HTTP statuses by the handler.
+var (
+	// errQueueFull means the bounded admission queue had no room: 429.
+	errQueueFull = errors.New("serve: admission queue full")
+	// errQueueTimeout means the request waited QueueTimeout without the
+	// pool freeing enough budget: 503.
+	errQueueTimeout = errors.New("serve: admission queue timeout")
+)
+
+// admission is a weighted FIFO semaphore over abstract worker-budget
+// units. A request costs 1 + m/EdgesPerUnit units (clamped to the
+// budget), so several small solves run concurrently while one huge graph
+// takes the pool alone — and, because grants are strictly FIFO, a big
+// request parked at the head is never starved by a stream of small ones.
+type admission struct {
+	mu      sync.Mutex
+	budget  int
+	avail   int
+	maxWait int           // queue bound; 0 = reject whenever budget is short
+	timeout time.Duration // max time in the queue
+	queue   []*waiter
+}
+
+type waiter struct {
+	need    int
+	ready   chan struct{} // closed under mu when granted
+	granted bool
+}
+
+func newAdmission(budget, maxWait int, timeout time.Duration) *admission {
+	return &admission{budget: budget, avail: budget, maxWait: maxWait, timeout: timeout}
+}
+
+// clampCost bounds a request cost to [1, budget] so oversized graphs are
+// admissible (they just take the whole budget).
+func (a *admission) clampCost(cost int) int {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > a.budget {
+		cost = a.budget
+	}
+	return cost
+}
+
+// acquire blocks until cost units are available, the bounded queue
+// overflows (errQueueFull), or the wait exceeds the timeout
+// (errQueueTimeout). On success the caller must call the returned release
+// exactly once.
+func (a *admission) acquire(cost int) (release func(), err error) {
+	cost = a.clampCost(cost)
+	a.mu.Lock()
+	if len(a.queue) == 0 && a.avail >= cost {
+		a.avail -= cost
+		a.mu.Unlock()
+		return func() { a.release(cost) }, nil
+	}
+	if len(a.queue) >= a.maxWait {
+		a.mu.Unlock()
+		return nil, errQueueFull
+	}
+	w := &waiter{need: cost, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return func() { a.release(cost) }, nil
+	case <-timer.C:
+	}
+	a.mu.Lock()
+	if w.granted {
+		// The grant raced the timeout; take it.
+		a.mu.Unlock()
+		return func() { a.release(cost) }, nil
+	}
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			break
+		}
+	}
+	// Removing a big head waiter may unblock smaller ones behind it.
+	a.grantLocked()
+	a.mu.Unlock()
+	return nil, errQueueTimeout
+}
+
+// release returns cost units and hands them to queued waiters in FIFO
+// order.
+func (a *admission) release(cost int) {
+	a.mu.Lock()
+	a.avail += cost
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked admits queued waiters from the front while they fit.
+func (a *admission) grantLocked() {
+	for len(a.queue) > 0 && a.queue[0].need <= a.avail {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.avail -= w.need
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// stats returns (units in use, units total, queued requests).
+func (a *admission) stats() (inUse, budget, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget - a.avail, a.budget, len(a.queue)
+}

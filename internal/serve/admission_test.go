@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(4, 8, time.Second)
+	r1, err := a.acquire(3)
+	if err != nil {
+		t.Fatalf("acquire(3): %v", err)
+	}
+	r2, err := a.acquire(1)
+	if err != nil {
+		t.Fatalf("acquire(1): %v", err)
+	}
+	inUse, budget, queued := a.stats()
+	if inUse != 4 || budget != 4 || queued != 0 {
+		t.Fatalf("stats = %d/%d queued %d; want 4/4 queued 0", inUse, budget, queued)
+	}
+	r1()
+	r2()
+	if inUse, _, _ := a.stats(); inUse != 0 {
+		t.Fatalf("inUse=%d after release; want 0", inUse)
+	}
+}
+
+func TestAdmissionClampsCost(t *testing.T) {
+	a := newAdmission(2, 8, time.Second)
+	// A cost far beyond the budget is clamped to the budget, not rejected.
+	release, err := a.acquire(1000)
+	if err != nil {
+		t.Fatalf("acquire(1000): %v", err)
+	}
+	if inUse, _, _ := a.stats(); inUse != 2 {
+		t.Fatalf("inUse=%d; want the full budget 2", inUse)
+	}
+	release()
+	// Non-positive costs are clamped up to 1.
+	release, err = a.acquire(0)
+	if err != nil {
+		t.Fatalf("acquire(0): %v", err)
+	}
+	if inUse, _, _ := a.stats(); inUse != 1 {
+		t.Fatalf("inUse=%d; want 1", inUse)
+	}
+	release()
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 0, time.Second)
+	release, err := a.acquire(1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if _, err := a.acquire(1); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire with zero-length queue = %v; want errQueueFull", err)
+	}
+	release()
+	release, err = a.acquire(1)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release()
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 4, 30*time.Millisecond)
+	release, err := a.acquire(1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	start := time.Now()
+	if _, err := a.acquire(1); !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("queued acquire = %v; want errQueueTimeout", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("timed out after %v; want ~30ms", waited)
+	}
+	if _, _, queued := a.stats(); queued != 0 {
+		t.Fatalf("queued=%d after timeout; want the waiter removed", queued)
+	}
+	release()
+}
+
+func TestAdmissionFIFOWakeup(t *testing.T) {
+	a := newAdmission(1, 4, 2*time.Second)
+	release, err := a.acquire(1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := a.acquire(1)
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	// Wait for the goroutine to park in the queue, then release.
+	for i := 0; ; i++ {
+		if _, _, queued := a.stats(); queued == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire after release = %v; want grant", err)
+	}
+}
+
+// TestAdmissionTimeoutUnblocksFollowers pins the re-scan on timeout
+// removal: when a big request parked at the queue head gives up, a small
+// request behind it must be admitted immediately rather than waiting for
+// the next release.
+func TestAdmissionTimeoutUnblocksFollowers(t *testing.T) {
+	a := newAdmission(2, 4, 250*time.Millisecond)
+	// Hold 1 unit so avail=1: the big waiter (needs 2) can never be
+	// granted, the small one (needs 1) fits as soon as the big one leaves.
+	release, err := a.acquire(1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	bigErr := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(2)
+		bigErr <- err
+	}()
+	for i := 0; ; i++ {
+		if _, _, queued := a.stats(); queued == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("big waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Start the small waiter well after the big one so its own deadline is
+	// comfortably behind the head's: a grant, not a timeout, is then the
+	// only way it returns promptly.
+	time.Sleep(100 * time.Millisecond)
+	smallDone := make(chan error, 1)
+	smallStart := time.Now()
+	go func() {
+		r, err := a.acquire(1)
+		if err == nil {
+			r()
+		}
+		smallDone <- err
+	}()
+	if err := <-bigErr; !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("big acquire = %v; want errQueueTimeout", err)
+	}
+	if err := <-smallDone; err != nil {
+		t.Fatalf("small acquire = %v; want grant after head removal", err)
+	}
+	// The small waiter started well before the big one's deadline, so a
+	// grant (rather than its own later timeout) proves the head-removal
+	// re-scan fired.
+	if waited := time.Since(smallStart); waited > 2*time.Second {
+		t.Fatalf("small waiter took %v; should be admitted at head timeout", waited)
+	}
+	release()
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// Entry is one named graph in a Corpus. The fingerprint is computed once
+// at load time and reused for every request key touching the graph.
+type Entry struct {
+	Name        string
+	Class       string // dataset class, or "file" / "inline"
+	G           *graph.Graph
+	Fingerprint uint64
+}
+
+// Corpus is the set of graphs a Service answers by name. It is built
+// before the server starts and immutable afterwards, so lookups need no
+// locking.
+type Corpus struct {
+	entries []Entry
+	byName  map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byName: map[string]int{}}
+}
+
+// Add registers g under name. Adding a duplicate name is an error: corpus
+// names are the API's graph identifiers.
+func (c *Corpus) Add(name, class string, g *graph.Graph) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty graph name")
+	}
+	if _, dup := c.byName[name]; dup {
+		return fmt.Errorf("serve: duplicate corpus graph %q", name)
+	}
+	c.byName[name] = len(c.entries)
+	c.entries = append(c.entries, Entry{
+		Name: name, Class: class, G: g, Fingerprint: g.Fingerprint(),
+	})
+	return nil
+}
+
+// AddDatasets generates the named dataset instances (internal/dataset
+// Table II analogs) at the given scale and seed. names may be instance
+// names or the single word "all".
+func (c *Corpus) AddDatasets(names []string, scale float64, seed uint64) error {
+	if len(names) == 1 && names[0] == "all" {
+		names = dataset.Names()
+	}
+	for _, name := range names {
+		spec, ok := dataset.Get(name)
+		if !ok {
+			return fmt.Errorf("serve: unknown dataset instance %q (known: %v)", name, dataset.Names())
+		}
+		if err := c.Add(name, spec.Class, dataset.Load(spec, scale, seed)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddDir loads every regular file in dir as a graph (edge list, or METIS
+// for .graph/.metis — the same auto-detection as the -file flag) and
+// registers it under its base name without extension. Files are loaded in
+// sorted name order so corpus listings are deterministic.
+func (c *Corpus) AddDir(dir string) error {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: corpus dir: %w", err)
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if de.Type().IsRegular() {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		path := filepath.Join(dir, fn)
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("serve: corpus file: %w", err)
+		}
+		g, err := graph.ReadAuto(path, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("serve: corpus file %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(fn, filepath.Ext(fn))
+		if err := c.Add(name, "file", g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the entry registered under name.
+func (c *Corpus) Get(name string) (Entry, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return c.entries[i], true
+}
+
+// Entries returns the entries in registration order.
+func (c *Corpus) Entries() []Entry {
+	out := make([]Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Len reports the number of graphs.
+func (c *Corpus) Len() int { return len(c.entries) }

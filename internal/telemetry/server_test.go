@@ -1,11 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -99,6 +102,80 @@ func TestServerTraceSnapshot(t *testing.T) {
 	}
 	if live.DurNs <= 0 {
 		t.Fatalf("open span must export elapsed-so-far time, got %d", live.DurNs)
+	}
+}
+
+func TestServeHandlerMountsExtraRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "Demo.").Inc()
+	mux := NewMux(r)
+	mux.HandleFunc("/extra", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "mounted")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if code, body := get(t, srv.URL()+"/extra"); code != http.StatusOK || body != "mounted" {
+		t.Fatalf("/extra = %d %q", code, body)
+	}
+	// The telemetry surface stays intact underneath the extra routes.
+	if code, body := get(t, srv.URL()+"/metrics"); code != http.StatusOK || !strings.Contains(body, "demo_total 1") {
+		t.Fatalf("/metrics lost under ServeHandler: %d %q", code, body)
+	}
+}
+
+func TestServerShutdownDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := NewMux(NewRegistry())
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		body string
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/slow")
+		if err != nil {
+			got <- result{0, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- result{resp.StatusCode, string(b)}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// New connections are refused once Shutdown has begun; the in-flight
+	// request must still complete after we release it.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("new request accepted during drain")
+	}
+	close(release)
+	if r := <-got; r.code != http.StatusOK || r.body != "done" {
+		t.Fatalf("in-flight request dropped during drain: %d %q", r.code, r.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
 	}
 }
 
