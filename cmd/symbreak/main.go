@@ -57,6 +57,9 @@ func main() {
 	serveCacheBytes := flag.Int64("serve-cache-bytes", 0, "solution cache byte budget (0 = default 256 MiB, negative = disable)")
 	serveUnitEdges := flag.Int64("serve-unit-edges", 0, "graph edges per admission unit (0 = default 256Ki)")
 	serveMaxInline := flag.Int("serve-max-inline", 0, "max inline edges accepted by POST /solve (0 = default 1Mi)")
+	logFormat := flag.String("log-format", "text", "per-request log format written to stderr by the daemon: text or json")
+	slowLog := flag.Duration("slowlog", 0, "only emit request-log lines for /solve requests at least this slow (0 = log every request)")
+	flightN := flag.Int("flight-recorder", 0, "completed /solve requests retained for GET /debug/requests (0 = default 256, negative = disable)")
 	flag.Parse()
 
 	oneShot := *file != "" || len(flag.Args()) > 0
@@ -72,6 +75,10 @@ func main() {
 		trace.Enable(true)
 		mux := telemetry.NewMux(telemetry.Default)
 		if daemon || *corpus != "" || *corpusDir != "" {
+			reqlog, err := telemetry.NewRequestLog(os.Stderr, *logFormat)
+			if err != nil {
+				fatal(err)
+			}
 			svc = serve.New(serve.Config{
 				Corpus:         buildCorpus(*corpus, *corpusDir, *corpusScale, *seed),
 				WorkerBudget:   *serveWorkers,
@@ -80,6 +87,9 @@ func main() {
 				CacheBytes:     *serveCacheBytes,
 				EdgesPerUnit:   *serveUnitEdges,
 				MaxInlineEdges: *serveMaxInline,
+				FlightRecorder: *flightN,
+				Log:            reqlog,
+				SlowLog:        *slowLog,
 			})
 			svc.Mount(mux)
 		}

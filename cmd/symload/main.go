@@ -17,6 +17,7 @@
 package main
 
 import (
+	"cmp"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +33,16 @@ import (
 
 	"repro/internal/telemetry"
 )
+
+// outcome is one completed request as the driver saw it: transport
+// error or status, plus the daemon-assigned request id and the
+// client-observed latency.
+type outcome struct {
+	status int
+	err    error
+	id     string
+	dur    time.Duration
+}
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:9090", "base URL of the symbreak daemon")
@@ -67,10 +79,6 @@ func main() {
 	lat := reg.Histogram("symload_request_seconds", "Client-observed /solve latency.", latencyBuckets())
 	client := &http.Client{Timeout: *timeout}
 
-	type outcome struct {
-		status int
-		err    error
-	}
 	results := make(chan outcome, 1024)
 	sem := make(chan struct{}, *concurrency)
 	var wg sync.WaitGroup
@@ -105,11 +113,12 @@ launch:
 				body := fmt.Sprintf(`{"graph":%q,"problem":%q,"algo":%q,"seed":%d}`,
 					names[i%len(names)], *problem, *algo, uint64(i)%*seeds)
 				start := time.Now()
-				status, err := postSolve(client, *addr, body)
+				status, id, err := postSolve(client, *addr, body)
+				dur := time.Since(start)
 				if telemetry.Enabled() {
-					lat.Observe(time.Since(start).Seconds())
+					lat.Observe(dur.Seconds())
 				}
-				results <- outcome{status, err}
+				results <- outcome{status, err, id, dur}
 			}()
 		}
 	}
@@ -120,12 +129,16 @@ launch:
 
 	codes := map[int]int{}
 	var netErrs int
+	var done []outcome
 	for r := range results {
 		if r.err != nil {
 			netErrs++
 			continue
 		}
 		codes[r.status]++
+		if r.id != "" {
+			done = append(done, r)
+		}
 	}
 
 	fmt.Printf("requests:   %d launched, %d dropped (concurrency cap), %d transport errors\n",
@@ -143,6 +156,7 @@ launch:
 			fmtSeconds(lat.Quantile(0.5)), fmtSeconds(lat.Quantile(0.95)),
 			fmtSeconds(lat.Quantile(0.99)), lat.Count())
 	}
+	printSlowest(done, *addr)
 
 	bad := netErrs
 	for c, n := range codes {
@@ -152,6 +166,33 @@ launch:
 	}
 	if bad > 0 {
 		fatal(fmt.Errorf("%d requests failed with unexpected statuses", bad))
+	}
+}
+
+// slowestShown caps the p99-tail listing so a long run stays readable.
+const slowestShown = 8
+
+// printSlowest names the requests at or above the exact p99 of the
+// collected latencies, slowest first, so a tail worth explaining can be
+// pulled straight from the daemon flight recorder by id.
+func printSlowest(done []outcome, addr string) {
+	if len(done) == 0 {
+		return
+	}
+	slices.SortFunc(done, func(a, b outcome) int {
+		if a.dur != b.dur {
+			return cmp.Compare(b.dur, a.dur)
+		}
+		return strings.Compare(a.id, b.id)
+	})
+	n := (len(done) + 99) / 100 // ceil(1%): the p99-and-worse tail
+	if n > slowestShown {
+		n = slowestShown
+	}
+	fmt.Printf("slowest:    %d of %d requests at p99+ — GET %s/debug/requests/<id> for phases and spans\n",
+		n, len(done), addr)
+	for _, r := range done[:n] {
+		fmt.Printf("  %s  %v  status %d\n", r.id, r.dur.Round(10*time.Microsecond), r.status)
 	}
 }
 
@@ -181,14 +222,14 @@ func listGraphs(addr string, timeout time.Duration) ([]string, error) {
 	return names, nil
 }
 
-func postSolve(client *http.Client, addr, body string) (int, error) {
+func postSolve(client *http.Client, addr, body string) (status int, id string, err error) {
 	resp, err := client.Post(addr+"/solve", "application/json", strings.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for connection reuse
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("X-Symbreak-Request-Id"), nil
 }
 
 // latencyBuckets spans 100µs to ~100s logarithmically, fine enough that

@@ -123,15 +123,48 @@ func TestDocEndpointsExist(t *testing.T) {
 		t.Fatal("no endpoint paths found in docs — extraction broken?")
 	}
 
+	// Source → doc: every path the muxes register must be documented
+	// (the observability surface is operator-facing by construction).
+	docPaths := map[string]bool{}
+	for _, m := range pathRe.FindAllStringSubmatch(docs, -1) {
+		docPaths[m[1]] = true
+	}
+	regRe := regexp.MustCompile(`HandleFunc\("(/[^"]+)"`)
+	for _, m := range regRe.FindAllStringSubmatch(src, -1) {
+		path := m[1]
+		if docPaths[path] || docPaths[strings.TrimSuffix(path, "/")] {
+			continue
+		}
+		// A documented prefix route (trailing slash, like /debug/pprof/)
+		// covers the endpoints registered under it.
+		covered := false
+		for doc := range docPaths {
+			if strings.HasSuffix(doc, "/") && strings.HasPrefix(path, doc) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("mux registers %s, which the docs never mention", path)
+		}
+	}
+
 	// The API reference must cover the solve surface and its contract
-	// header.
+	// headers.
 	api := mustRead(t, "docs/API.md")
-	for _, want := range []string{"POST /solve", "GET /graphs", "X-Symbreak-Cache", "429", "503", "Retry-After"} {
+	for _, want := range []string{
+		"POST /solve", "GET /graphs", "GET /debug/requests",
+		"X-Symbreak-Cache", "X-Symbreak-Request-Id",
+		"format=chrome", "429", "503", "Retry-After",
+	} {
 		if !strings.Contains(api, want) {
 			t.Errorf("docs/API.md does not mention %q", want)
 		}
 	}
 	if !strings.Contains(mustRead(t, "internal/serve/solve.go"), "X-Symbreak-Cache") {
 		t.Error("X-Symbreak-Cache header documented but not set by internal/serve")
+	}
+	if !strings.Contains(mustRead(t, "internal/serve/request.go"), "X-Symbreak-Request-Id") {
+		t.Error("X-Symbreak-Request-Id header documented but not set by internal/serve")
 	}
 }

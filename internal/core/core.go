@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -411,6 +412,26 @@ func fillMIS(r *Report, rep mis.Report) {
 	r.Decomp = rep.Decomp
 	r.Solve = rep.Solve
 	r.Rounds = rep.Rounds
+}
+
+// SolveCtx is Solve with a context. If ctx carries a trace.Collector
+// (via trace.NewContext), the collector is attached to the calling
+// goroutine for the duration of the solve, so every phase span the
+// decomposition and solver layers open — decomp, solve/parts,
+// solve/cross, per-round series — lands on that collector instead of the
+// process-global tracer. This is how the serving layer gives each
+// concurrent request its own span tree; a context without a collector
+// behaves exactly like Solve.
+func SolveCtx(ctx context.Context, g *graph.Graph, p Problem, opt Options) (*Result, error) {
+	defer trace.FromContext(ctx).Attach()()
+	return Solve(g, p, opt)
+}
+
+// SolveVerifiedCtx is SolveVerified with a context, threading a carried
+// trace.Collector the same way SolveCtx does.
+func SolveVerifiedCtx(ctx context.Context, g *graph.Graph, p Problem, opt Options) (*Result, error) {
+	defer trace.FromContext(ctx).Attach()()
+	return SolveVerified(g, p, opt)
 }
 
 // SolveVerified runs Solve and then Verify, returning the result only if

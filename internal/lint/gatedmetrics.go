@@ -7,7 +7,8 @@ import (
 )
 
 // Gatedmetrics checks that every telemetry publication — a call to a
-// metric's Inc/Add/Set/Observe or a vec's With lookup — happens under a
+// metric's Inc/Add/Set/Observe, a vec's With lookup, or a RequestLog's
+// Emit — happens under a
 // telemetry.Enabled() guard, so disabled runs pay exactly one atomic load
 // per instrumented site and benchmark numbers are not polluted by metric
 // maintenance. A site is guarded when it is lexically inside an if whose
@@ -18,7 +19,7 @@ import (
 // helper that publishes several metrics.
 var Gatedmetrics = &Analyzer{
 	Name: "gatedmetrics",
-	Doc:  "telemetry publications (Inc/Add/Set/Observe/With) must be gated on telemetry.Enabled()",
+	Doc:  "telemetry publications (Inc/Add/Set/Observe/With/Emit) must be gated on telemetry.Enabled()",
 	Run:  runGatedmetrics,
 }
 
@@ -28,6 +29,10 @@ var publicationMethods = map[string]bool{
 	"Set":     true,
 	"Observe": true,
 	"With":    true,
+	// Emit is the structured request-log publication (RequestLog): a log
+	// line per request is telemetry like any counter bump, and must stay
+	// free when telemetry is off.
+	"Emit": true,
 }
 
 func runGatedmetrics(p *Pass) error {

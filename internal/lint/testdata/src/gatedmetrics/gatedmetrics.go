@@ -3,13 +3,18 @@
 // site, via an early return, or (for unexported helpers) at every caller.
 package gatedmetrics
 
-import "repro/internal/telemetry"
+import (
+	"io"
+
+	"repro/internal/telemetry"
+)
 
 var (
 	launches = telemetry.Default.Counter(
 		"lintfixture_launches_total", "Fixture counter.")
 	depth = telemetry.Default.GaugeVec(
 		"lintfixture_depth", "Fixture gauge.", "phase")
+	reqlog, _ = telemetry.NewRequestLog(io.Discard, "json")
 )
 
 func unguarded(n int) {
@@ -84,4 +89,16 @@ func goodCaller() {
 
 func allowed() {
 	launches.Inc() //lint:allow gatedmetrics
+}
+
+// The request log is a telemetry publication too: an Emit is a line of
+// per-request telemetry and needs the same gate as a counter bump.
+func unguardedLog(id string) {
+	reqlog.Emit("id", id) // want `gated on telemetry.Enabled`
+}
+
+func guardedLog(id string, wall int64) {
+	if telemetry.Enabled() && wall > 0 {
+		reqlog.Emit("id", id, "wall", wall)
+	}
 }

@@ -39,11 +39,22 @@ type Config struct {
 	// MaxInlineEdges bounds uploaded edge lists; 0 means
 	// DefaultMaxInlineEdges. Larger uploads get 413.
 	MaxInlineEdges int
+	// FlightRecorder sets how many completed solve requests the
+	// /debug/requests ring retains (the slowest few are pinned beyond
+	// it); 0 means DefaultFlightRecorder, negative disables recording.
+	FlightRecorder int
+	// Log, when non-nil, receives one structured line per completed
+	// solve request (telemetry-gated).
+	Log *telemetry.RequestLog
+	// SlowLog suppresses request-log lines for requests faster than
+	// this threshold; 0 logs every request.
+	SlowLog time.Duration
 }
 
 // Defaults for the zero Config fields.
 const (
 	DefaultQueueDepth     = 64
+	DefaultFlightRecorder = 256
 	DefaultQueueTimeout   = 2 * time.Second
 	DefaultCacheBytes     = 256 << 20
 	DefaultEdgesPerUnit   = 256 << 10
@@ -57,6 +68,7 @@ type Service struct {
 	cache  *lruCache
 	adm    *admission
 	flight *flightGroup
+	rec    *flightRecorder
 	cfg    Config
 	m      metrics
 
@@ -117,12 +129,18 @@ func New(cfg Config) *Service {
 	if cfg.MaxInlineEdges == 0 {
 		cfg.MaxInlineEdges = DefaultMaxInlineEdges
 	}
+	if cfg.FlightRecorder == 0 {
+		cfg.FlightRecorder = DefaultFlightRecorder
+	} else if cfg.FlightRecorder < 0 {
+		cfg.FlightRecorder = 0
+	}
 	r := cfg.Registry
 	return &Service{
 		corpus: cfg.Corpus,
 		cache:  newLRUCache(cfg.CacheBytes),
 		adm:    newAdmission(cfg.WorkerBudget, cfg.QueueDepth, cfg.QueueTimeout),
 		flight: newFlightGroup(),
+		rec:    newFlightRecorder(cfg.FlightRecorder),
 		cfg:    cfg,
 		m: metrics{
 			requests: r.CounterVec("symbreak_serve_requests_total",
@@ -161,6 +179,8 @@ func New(cfg Config) *Service {
 func (s *Service) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/solve", s.instrument("solve", s.handleSolve))
 	mux.HandleFunc("/graphs", s.instrument("graphs", s.handleGraphs))
+	mux.HandleFunc("/debug/requests", s.instrument("debug_requests", s.handleRequests))
+	mux.HandleFunc("/debug/requests/", s.instrument("debug_requests", s.handleRequestByID))
 }
 
 // CorpusLen reports how many graphs the service answers by name.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // solveParams carries the decomposition parameters; zeros mean the
@@ -97,9 +99,12 @@ type solveResponse struct {
 }
 
 // solveOutcome is what a singleflight run produces: the marshaled 200
-// body shared by the leader and every coalesced follower.
+// body shared by the leader and every coalesced follower, plus the
+// solver report that coalesced followers copy into their own
+// flight-recorder records.
 type solveOutcome struct {
-	body []byte
+	body   []byte
+	report reportInfo
 }
 
 // parsedSolve is a validated request: the resolved graph plus normalized
@@ -230,57 +235,96 @@ func (s *Service) cost(g *graph.Graph) int {
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	rt := s.beginRequest(w)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		s.finishError(w, rt, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req solveRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.finishError(w, rt, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	ps, herr := s.parseSolve(&req)
 	if herr != nil {
-		writeError(w, herr.code, "%s", herr.msg)
+		s.finishError(w, rt, herr.code, "%s", herr.msg)
 		return
 	}
+	rt.setCoords(ps)
+	rt.phase("parse")
 
 	if body, ok := s.cache.get(ps.key); ok {
 		if telemetry.Enabled() {
 			s.m.hits.Inc()
 		}
+		rt.rec.Cache = "hit"
+		rt.phase("lookup")
 		writeSolveBody(w, body, "hit")
+		s.finish(rt, http.StatusOK)
 		return
 	}
 	if telemetry.Enabled() {
 		s.m.misses.Inc()
 	}
+	rt.phase("lookup")
 
+	// Only the singleflight leader's closure runs, on the leader's own
+	// goroutine — so rt inside it is always the leader's track, and the
+	// queue/decomp/solve/verify/finalize phases land on the leader's
+	// record. Followers spend the same interval blocked in do; their
+	// records call it "coalesced".
 	out, err, shared := s.flight.do(ps.key, func() (*solveOutcome, error) {
-		return s.runSolve(ps)
+		return s.runSolve(r.Context(), ps, rt)
 	})
 	if shared && telemetry.Enabled() {
 		s.m.coalesced.Inc()
 	}
 	if err != nil {
-		s.writeSolveError(w, err)
+		// The leader already stamped its phases inside runSolve; only a
+		// follower needs the blocked interval accounted for.
+		if shared {
+			rt.phase("coalesced")
+		}
+		rt.rec.Error = err.Error()
+		s.finish(rt, s.writeSolveError(w, err))
 		return
 	}
-	status := "miss"
+	disposition := "miss"
 	if shared {
-		status = "coalesced"
+		disposition = "coalesced"
+		rt.phase("coalesced")
 	}
-	writeSolveBody(w, out.body, status)
+	rt.rec.Cache = disposition
+	rep := out.report
+	rt.rec.Report = &rep
+	writeSolveBody(w, out.body, disposition)
+	s.finish(rt, http.StatusOK)
 }
 
 // runSolve is the singleflight leader body: admission, the solver run,
-// response marshaling, cache fill.
-func (s *Service) runSolve(ps *parsedSolve) (*solveOutcome, error) {
+// response marshaling, cache fill. It records onto the leader's own
+// track: queue wait, the solver phase split, and — when tracing is on —
+// a per-request span tree collected by a Collector carried through ctx
+// into core, so concurrent requests never interleave spans.
+func (s *Service) runSolve(ctx context.Context, ps *parsedSolve, rt *requestTrack) (*solveOutcome, error) {
+	var col *trace.Collector
+	if trace.Enabled() {
+		col = trace.NewCollector()
+		ctx = trace.NewContext(ctx, col)
+	}
+	reqSpan := col.Beginf("request %s", rt.id)
+
+	qstart := time.Now()
+	qspan := col.Begin("queue")
 	release, err := s.adm.acquire(s.cost(ps.g))
+	qspan.End()
+	rt.rec.QueueNs = time.Since(qstart).Nanoseconds()
+	rt.phase("queue")
 	if err != nil {
+		reqSpan.End()
 		return nil, err
 	}
 	defer release()
@@ -293,15 +337,25 @@ func (s *Service) runSolve(ps *parsedSolve) (*solveOutcome, error) {
 		s.m.runs.Inc()
 	}
 	start := time.Now()
-	res, err := core.SolveVerified(ps.g, ps.problem, ps.opt)
+	res, err := core.SolveVerifiedCtx(ctx, ps.g, ps.problem, ps.opt)
 	if err != nil {
+		reqSpan.End()
+		rt.phase("run")
 		return nil, err
 	}
 	if telemetry.Enabled() {
 		s.m.solveSecs.With(ps.problem.String(), res.Report.StrategyName, ps.arch.String()).
 			Observe(time.Since(start).Seconds())
 	}
+	rep := reportInfo{
+		Rounds:   res.Report.Rounds,
+		DecompNs: res.Report.Decomp.Nanoseconds(),
+		SolveNs:  res.Report.Solve.Nanoseconds(),
+		TotalNs:  res.Report.Total().Nanoseconds(),
+	}
+	rt.splitRun(rep)
 
+	fspan := col.Begin("finalize")
 	norm := ps.opt.Normalized()
 	resp := solveResponse{
 		Graph:    ps.info,
@@ -312,22 +366,31 @@ func (s *Service) runSolve(ps *parsedSolve) (*solveOutcome, error) {
 		Seed:     ps.opt.Seed,
 		Params:   solveParams{Parts: norm.RandParts, K: norm.DegK, Beta: norm.MPXBeta},
 		Solution: solutionFor(res, ps.include),
-		Report: reportInfo{
-			Rounds:   res.Report.Rounds,
-			DecompNs: res.Report.Decomp.Nanoseconds(),
-			SolveNs:  res.Report.Solve.Nanoseconds(),
-			TotalNs:  res.Report.Total().Nanoseconds(),
-		},
+		Report:   rep,
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
+		fspan.End()
+		reqSpan.End()
+		rt.phase("finalize")
 		return nil, err
 	}
 	evicted := s.cache.put(ps.key, body)
 	if evicted > 0 && telemetry.Enabled() {
 		s.m.evictions.Add(float64(evicted))
 	}
-	return &solveOutcome{body: body}, nil
+	fspan.End()
+	reqSpan.End()
+	rt.phase("finalize")
+	if col != nil {
+		snap := col.Snapshot()
+		if len(snap.Children) == 1 {
+			rt.rec.Trace = &snap.Children[0]
+		} else {
+			rt.rec.Trace = &snap
+		}
+	}
+	return &solveOutcome{body: body, report: rep}, nil
 }
 
 // solutionFor summarizes (and optionally embeds) the solution vector.
@@ -371,8 +434,9 @@ func writeSolveBody(w http.ResponseWriter, body []byte, disposition string) {
 }
 
 // writeSolveError maps run errors to HTTP statuses: admission rejections
-// to 429/503 with Retry-After, everything else to 500.
-func (s *Service) writeSolveError(w http.ResponseWriter, err error) {
+// to 429/503 with Retry-After, everything else to 500. It returns the
+// status it wrote so the caller can seal the flight-recorder entry.
+func (s *Service) writeSolveError(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, errQueueFull):
 		if telemetry.Enabled() {
@@ -380,13 +444,16 @@ func (s *Service) writeSolveError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return http.StatusTooManyRequests
 	case errors.Is(err, errQueueTimeout):
 		if telemetry.Enabled() {
 			s.m.rejected.With("timeout").Inc()
 		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return http.StatusServiceUnavailable
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
+		return http.StatusInternalServerError
 	}
 }

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestLogText(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewRequestLog(&buf, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2026, 8, 9, 10, 0, 0, 0, time.UTC)
+	l.Emit("ts", ts, "id", "ab12cd34", "status", 200,
+		"cache", "miss", "wall", 4100*time.Microsecond, "msg", "two words")
+	got := buf.String()
+	want := `ts=2026-08-09T10:00:00Z id=ab12cd34 status=200 cache=miss wall=4.1ms msg="two words"` + "\n"
+	if got != want {
+		t.Fatalf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestRequestLogJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewRequestLog(&buf, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit("id", "ab12", "status", 200, "wall", 1500*time.Nanosecond, "seed", uint64(7))
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line not newline-terminated: %q", line)
+	}
+	// Field order is the argument order.
+	want := `{"id":"ab12","status":200,"wall":1500,"seed":7}` + "\n"
+	if line != want {
+		t.Fatalf("json line:\n got %q\nwant %q", line, want)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestRequestLogBadFormat(t *testing.T) {
+	if _, err := NewRequestLog(&bytes.Buffer{}, "yaml"); err == nil {
+		t.Fatal("NewRequestLog accepted an unknown format")
+	}
+}
+
+// TestRequestLogConcurrent checks that concurrent Emits never interleave
+// mid-line: every emitted line must parse as one complete record.
+func TestRequestLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewRequestLog(&buf, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Emit("worker", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != workers*per {
+		t.Fatalf("%d lines, want %d", len(lines), workers*per)
+	}
+	for _, line := range lines {
+		var m struct{ Worker, I int }
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+	}
+}

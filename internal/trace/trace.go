@@ -12,7 +12,7 @@
 // collection is on.
 //
 // The model is a tree of spans. Begin opens a span nested under the
-// innermost open span of the process-global tracer; End closes it and
+// innermost open span of the current collector; End closes it and
 // records its wall time. A span carries
 //
 //   - Counters — named int64 accumulators (matched edges, conflicts,
@@ -22,23 +22,26 @@
 //   - Series — named append-only int64 sequences for per-round
 //     observations (MIS frontier sizes, cumulative matched edges).
 //
-// The tracer is a single process-global instance guarded by a mutex, like
-// par's stats: experiment harnesses run cells sequentially, so the
-// implicit current-span stack matches the phase structure exactly.
-// Concurrent Begin/End from multiple goroutines is safe (the tree is
-// lock-protected and End tolerates out-of-order closes) but the nesting
-// then reflects submission order, not causality — solver-internal worker
-// goroutines never open spans, so this does not arise in practice.
+// Trees live in Collectors. The package-level functions record into a
+// process-global Collector — experiment harnesses run cells sequentially,
+// so the implicit current-span stack matches the phase structure exactly.
+// Concurrent request-serving paths instead mint one Collector per request
+// and Attach it to the request goroutine (or thread it via NewContext /
+// core.SolveCtx), so simultaneous requests record independent span trees
+// instead of interleaving on the global one. Concurrent Begin/End against
+// a single collector is still safe (the tree is lock-protected and End
+// tolerates out-of-order closes) but its nesting reflects submission
+// order, not causality.
 //
-// Snapshot exports a deep copy of the tree as Export values, which
-// marshal to the JSON schema documented in DESIGN.md § Observability and
-// render as an indented human table via Render. cmd/benchall wires the
-// layer to the command line (-trace, -traceout).
+// Snapshot exports a deep copy of a tree as Export values, which marshal
+// to the JSON schema documented in DESIGN.md § Observability and render
+// as an indented human table via Render. cmd/benchall wires the layer to
+// the command line (-trace, -traceout); the serve layer's flight recorder
+// exposes per-request trees at /debug/requests.
 package trace
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -54,17 +57,15 @@ type Span struct {
 	series   map[string][]int64
 	children []*Span
 	parent   *Span
+	c        *Collector
 	done     bool
 }
 
-// The process-global tracer: a sentinel root holding top-level spans, and
-// the innermost open span new spans nest under. enabled gates every entry
-// point with one atomic load; mu guards the tree.
+// The process-global collector, and the enabled gate shared by every
+// collector: one atomic load guards every entry point.
 var (
 	enabled atomic.Bool
-	mu      sync.Mutex
-	root    = &Span{name: "trace"}
-	cur     = root
+	global  = NewCollector()
 )
 
 // Enable switches collection on or off. Off (the default) makes every
@@ -74,23 +75,19 @@ func Enable(on bool) { enabled.Store(on) }
 // Enabled reports whether collection is on.
 func Enabled() bool { return enabled.Load() }
 
-// Reset discards every recorded span and counter. Open spans become
-// orphans: their End still stamps them, but they are no longer reachable
-// from the new tree.
-func Reset() {
-	mu.Lock()
-	defer mu.Unlock()
-	root = &Span{name: "trace"}
-	cur = root
-}
+// Reset discards every span and counter recorded on the global
+// collector. Per-request collectors are unaffected.
+func Reset() { global.Reset() }
 
-// Begin opens a span nested under the innermost open span and makes it
-// current. Returns nil (inert) when collection is off.
+// Begin opens a span nested under the innermost open span of the current
+// collector — the goroutine's attached collector if one exists, else the
+// global one — and makes it current. Returns nil (inert) when collection
+// is off.
 func Begin(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
-	return begin(name)
+	return current().begin(name)
 }
 
 // Beginf is Begin with a formatted name; the format runs only when
@@ -101,35 +98,26 @@ func Beginf(format string, args ...any) *Span {
 	if !enabled.Load() {
 		return nil
 	}
-	return begin(fmt.Sprintf(format, args...))
+	return current().begin(fmt.Sprintf(format, args...))
 }
 
-// begin records the span unconditionally; callers have already checked
-// enabled (exactly one atomic load on the hot path).
-func begin(name string) *Span {
-	mu.Lock()
-	defer mu.Unlock()
-	sp := &Span{name: name, parent: cur, start: time.Now()}
-	cur.children = append(cur.children, sp)
-	cur = sp
-	return sp
-}
-
-// End closes the span, recording its wall time. The current span pops to
-// the nearest still-open ancestor, so out-of-order closes (concurrent
-// spans) cannot wedge the tracer. Safe on nil and on already-ended spans.
+// End closes the span, recording its wall time. The owning collector's
+// current span pops to the nearest still-open ancestor, so out-of-order
+// closes (concurrent spans) cannot wedge the tracer. Safe on nil and on
+// already-ended spans.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	mu.Lock()
-	defer mu.Unlock()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !s.done {
 		s.dur = time.Since(s.start)
 		s.done = true
 	}
-	for cur != root && cur.done {
-		cur = cur.parent
+	for c.cur != c.root && c.cur.done {
+		c.cur = c.cur.parent
 	}
 }
 
@@ -138,8 +126,9 @@ func (s *Span) Add(name string, v int64) {
 	if s == nil {
 		return
 	}
-	mu.Lock()
-	defer mu.Unlock()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if s.counters == nil {
 		s.counters = map[string]int64{}
 	}
@@ -151,42 +140,32 @@ func (s *Span) Append(name string, v int64) {
 	if s == nil {
 		return
 	}
-	mu.Lock()
-	defer mu.Unlock()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if s.series == nil {
 		s.series = map[string][]int64{}
 	}
 	s.series[name] = append(s.series[name], v)
 }
 
-// Add accumulates v into the named counter of the innermost open span.
-// Counters recorded while no span is open land on the root and surface in
-// Snapshot's root Export. No-op when collection is off.
+// Add accumulates v into the named counter of the current collector's
+// innermost open span. Counters recorded while no span is open land on
+// the root and surface in Snapshot's root Export. No-op when collection
+// is off.
 func Add(name string, v int64) {
 	if !enabled.Load() {
 		return
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	s := cur
-	if s.counters == nil {
-		s.counters = map[string]int64{}
-	}
-	s.counters[name] += v
+	current().add(name, v)
 }
 
-// Append appends v to the named series of the innermost open span — the
-// per-round hook (frontier sizes, cumulative matched edges). No-op when
-// collection is off.
+// Append appends v to the named series of the current collector's
+// innermost open span — the per-round hook (frontier sizes, cumulative
+// matched edges). No-op when collection is off.
 func Append(name string, v int64) {
 	if !enabled.Load() {
 		return
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	s := cur
-	if s.series == nil {
-		s.series = map[string][]int64{}
-	}
-	s.series[name] = append(s.series[name], v)
+	current().appendSeries(name, v)
 }

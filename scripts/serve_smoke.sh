@@ -44,6 +44,37 @@ if [ "$REQS" -lt 1 ]; then
 fi
 echo "serve-smoke: ${REQS} requests served"
 
+# The flight recorder must have recorded the symload traffic, and its
+# detail + Chrome-trace views must serve. Dump all three into
+# SERVE_SMOKE_ARTIFACTS (if set) so CI keeps an inspectable trace.
+ART="${SERVE_SMOKE_ARTIFACTS:-$BIN/flight}"
+mkdir -p "$ART"
+curl -fsS "${ADDR}/debug/requests" > "$ART/requests.json"
+if ! grep -q '"id":"' "$ART/requests.json"; then
+    echo "serve-smoke: /debug/requests is empty after load" >&2
+    exit 1
+fi
+# Pick a miss (a request that ran the solver): those carry span trees,
+# so the Chrome export below has something to render. Field order in a
+# record is id, …, cache, with no nested braces between the two.
+REQ_ID="$(grep -o '"id":"[0-9a-f]*"[^{}]*"cache":"miss"' "$ART/requests.json" \
+    | head -n 1 | sed 's/^"id":"\([0-9a-f]*\)".*/\1/')"
+if [ -z "$REQ_ID" ]; then
+    echo "serve-smoke: no cache-miss record in /debug/requests" >&2
+    exit 1
+fi
+curl -fsS "${ADDR}/debug/requests/${REQ_ID}" > "$ART/request-${REQ_ID}.json"
+grep -q '"phases"' "$ART/request-${REQ_ID}.json" || {
+    echo "serve-smoke: request detail for ${REQ_ID} has no phases" >&2
+    exit 1
+}
+curl -fsS "${ADDR}/debug/requests/${REQ_ID}?format=chrome" > "$ART/request-${REQ_ID}.chrome.json"
+grep -q '"traceEvents"' "$ART/request-${REQ_ID}.chrome.json" || {
+    echo "serve-smoke: chrome export for ${REQ_ID} is malformed" >&2
+    exit 1
+}
+echo "serve-smoke: flight recorder populated (request ${REQ_ID}; artifacts in ${ART})"
+
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 DAEMON_PID=""
