@@ -3,7 +3,7 @@ GO ?= go
 # bench-gate: max allowed slowdown (percent) before the gate fails.
 GATE_THRESHOLD ?= 2
 
-.PHONY: build test race vet lint bench-smoke bench-gate bench-par serve-demo serve-smoke fmt fmt-check
+.PHONY: build test race vet lint bench-smoke bench-gate bench-par serve-demo serve-smoke convert-smoke fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,9 @@ lint:
 	$(GO) run ./cmd/symlint ./...
 
 # Quick end-to-end benchmark smoke: one iteration of the paper-figure
-# benchmarks plus the frontier-engine and MPX micro-benchmarks, archived as
-# JSON for cross-PR regression comparison.
-SMOKE_BENCHES = ^(BenchmarkFig2Decomp|BenchmarkTable1|BenchmarkDecompMPX|BenchmarkFrontierHybridBFS)
+# benchmarks plus the frontier-engine, MPX, and binary-I/O micro-benchmarks,
+# archived as JSON for cross-PR regression comparison.
+SMOKE_BENCHES = ^(BenchmarkFig2Decomp|BenchmarkTable1|BenchmarkDecompMPX|BenchmarkFrontierHybridBFS|BenchmarkLoadBinary|BenchmarkDecodeAdjacency)
 bench-smoke:
 	$(GO) test -run='^$$' -bench='$(SMOKE_BENCHES)' -benchtime=1x . \
 		| $(GO) run scripts/bench2json.go -o BENCH_pr1.json
@@ -66,6 +66,12 @@ serve-demo:
 # on /metrics, and shut down gracefully. See docs/OPS.md.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Binary-format round-trip check: generate a graph, convert text <-> .scsr
+# (raw, compressed, and out-of-core), validate every artifact, and verify
+# the solver digest is identical across all load paths. See docs/OPS.md.
+convert-smoke:
+	bash scripts/convert_smoke.sh
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

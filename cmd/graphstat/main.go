@@ -1,11 +1,16 @@
 // Command graphstat prints Table II style statistics for the registered
 // dataset analogs (or a graph file), side by side with the paper's
-// published numbers.
+// published numbers. It is also the integrity tool for the binary CSR
+// format: -validate fully checks a .scsr file (header, structure,
+// fingerprint), and -load-only times a bare load, which is how the
+// EXPERIMENTS.md mmap-vs-text comparison is measured.
 //
 // Usage:
 //
 //	graphstat [-scale 1.0] [-seed 1] [-bridges] [name ...]
 //	graphstat -file graph.txt
+//	graphstat -file graph.scsr -validate
+//	graphstat -file graph.scsr -load-only
 //
 // With no names, all twelve instances are reported.
 package main
@@ -23,22 +28,14 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default bench size)")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	file := flag.String("file", "", "read a graph from a file instead (edge list, or METIS for .graph/.metis)")
+	file := flag.String("file", "", "read a graph from a file instead (edge list, METIS for .graph/.metis, binary for .scsr/.bin)")
 	bridges := flag.Bool("bridges", true, "compute %BRIDGES (sequential oracle; slow on huge graphs)")
+	validate := flag.Bool("validate", false, "with -file: fully validate the graph (for .scsr: header, structure, and fingerprint) and exit")
+	loadOnly := flag.Bool("load-only", false, "with -file: load the graph, report timing, and exit (no statistics)")
 	flag.Parse()
 
 	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		g, err := graph.ReadAuto(*file, f)
-		if err != nil {
-			fatal(err)
-		}
-		s := graph.ComputeStats(g, *bridges)
-		fmt.Println(s)
+		runFile(*file, *bridges, *validate, *loadOnly)
 		return
 	}
 
@@ -63,6 +60,68 @@ func main() {
 			p.Vertices, p.Edges, p.PctDeg2, p.PctBridges, p.AvgDegree,
 			buildTime.Round(time.Millisecond))
 	}
+}
+
+// runFile handles the -file modes: validate, load-only, or statistics.
+func runFile(path string, bridges, validate, loadOnly bool) {
+	if validate {
+		if graph.IsBinaryPath(path) {
+			hdr, err := graph.VerifyBinaryFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			enc := "raw"
+			if hdr.Compressed {
+				enc = "compressed"
+			}
+			fmt.Printf("%s: scsr v%d %s |V|=%d arcs=%d fingerprint=%016x OK\n",
+				path, hdr.Version, enc, hdr.NumVertices, hdr.NumArcs, hdr.Fingerprint)
+			return
+		}
+		g, err := graph.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: |V|=%d |E|=%d fingerprint=%016x OK\n",
+			path, g.NumVertices(), g.NumEdges(), g.Fingerprint())
+		return
+	}
+
+	start := time.Now()
+	g, disposition, err := openTimed(path)
+	if err != nil {
+		fatal(err)
+	}
+	loadTime := time.Since(start)
+	fmt.Fprintf(os.Stderr, "graphstat: loaded %s in %v (%s)\n", path, loadTime, disposition)
+	if loadOnly {
+		fmt.Printf("load %s |V|=%d |E|=%d seconds=%.6f disposition=%s\n",
+			path, g.NumVertices(), g.NumEdges(), loadTime.Seconds(), disposition)
+		return
+	}
+	fmt.Println(graph.ComputeStats(g, bridges))
+}
+
+// openTimed loads path, reporting how the adjacency was materialized.
+func openTimed(path string) (*graph.Graph, string, error) {
+	if graph.IsBinaryPath(path) {
+		bg, err := graph.OpenBinary(path)
+		if err != nil {
+			return nil, "", err
+		}
+		// The mapping (if any) stays live for the process; graphstat exits
+		// right after reporting.
+		disposition := "heap"
+		if bg.Mapped() {
+			disposition = "mmap"
+		}
+		return bg.Graph, disposition, nil
+	}
+	g, err := graph.LoadFile(path)
+	return g, "parse", err
 }
 
 func fatal(err error) {

@@ -45,10 +45,11 @@ func main() {
 	beta := flag.Float64("beta", 0, "MPX ball-growing rate (0 = default)")
 	seed := flag.Uint64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
-	file := flag.String("file", "", "read a graph from a file (edge list, or METIS for .graph/.metis)")
+	file := flag.String("file", "", "read a graph from a file (edge list, METIS for .graph/.metis, or binary CSR for .scsr/.bin)")
+	digest := flag.Bool("digest", false, "print the 64-bit solution digest (bit-identical across worker counts and load paths)")
 	serveAddr := flag.String("serve", "", "serve HTTP on this address: /metrics, /healthz, /trace, /debug/pprof/, and — with a corpus — POST /solve; without a graph argument runs as a daemon")
 	corpus := flag.String("corpus", "", "comma-separated dataset instances to serve (or \"all\"); implies daemon endpoints")
-	corpusDir := flag.String("corpus-dir", "", "directory of graph files to serve (edge list, or METIS for .graph/.metis)")
+	corpusDir := flag.String("corpus-dir", "", "directory of graph files to serve (edge list, METIS for .graph/.metis, or binary CSR for .scsr/.bin — binary files mmap and skip re-hashing)")
 	corpusScale := flag.Float64("corpus-scale", 1.0, "scale factor for generated corpus datasets")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	serveWorkers := flag.Int("serve-workers", 0, "admission worker budget in units (0 = number of workers)")
@@ -104,7 +105,7 @@ func main() {
 	}
 
 	if oneShot {
-		runOnce(*file, flag.Args(), *scale, *seed, *problem, *strategy, *archFlag, *parts, *k, *beta)
+		runOnce(*file, flag.Args(), *scale, *seed, *problem, *strategy, *archFlag, *parts, *k, *beta, *digest)
 		if srv == nil {
 			return
 		}
@@ -141,7 +142,7 @@ func buildCorpus(names, dir string, scale float64, seed uint64) *serve.Corpus {
 
 // runOnce is the classic single-solve path: load, solve, verify, report.
 func runOnce(file string, args []string, scale float64, seed uint64,
-	problem, strategy, archFlag string, parts, k int, beta float64) {
+	problem, strategy, archFlag string, parts, k int, beta float64, digest bool) {
 	g, err := cli.LoadGraph(file, args, scale, seed)
 	if err != nil {
 		fatal(err)
@@ -185,6 +186,9 @@ func runOnce(file string, args []string, scale float64, seed uint64,
 		fmt.Printf("coloring:   %d colors (verified proper)\n", res.Coloring.NumColors())
 	case res.IndepSet != nil:
 		fmt.Printf("mis:        %d vertices (verified maximal)\n", res.IndepSet.Size())
+	}
+	if digest {
+		fmt.Printf("digest:     %016x\n", res.SolutionDigest())
 	}
 }
 

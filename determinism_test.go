@@ -144,3 +144,60 @@ func TestDeterminismSweepConstruction(t *testing.T) {
 	}
 	dataset.ClearCache()
 }
+
+// TestDeterminismSweepBinaryLoad asserts that the load path is invisible
+// to the solvers: a graph served from a raw (mmap-backed where supported)
+// or compressed (parallel-decoded) .scsr file produces bit-identical
+// solution digests to the heap-built graph, under every sweep worker
+// count — including the decode itself, which runs on the par pool.
+func TestDeterminismSweepBinaryLoad(t *testing.T) {
+	defer par.SetWorkers(0)
+	spec, ok := dataset.Get("lp1")
+	if !ok {
+		t.Fatal("unknown dataset analog lp1")
+	}
+	par.SetWorkers(1)
+	ref := dataset.Load(spec, 0.1, 1)
+	dir := t.TempDir()
+	paths := map[string]string{
+		"raw":        dir + "/lp1-raw.scsr",
+		"compressed": dir + "/lp1-comp.scsr",
+	}
+	if err := graph.WriteBinaryFile(paths["raw"], ref, graph.BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinaryFile(paths["compressed"], ref, graph.BinaryOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	refRes, err := core.Solve(ref, core.ProblemMIS, core.Options{Strategy: core.StrategyDegk, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refRes.SolutionDigest()
+
+	for name, p := range paths {
+		for _, w := range sweepWorkers {
+			par.SetWorkers(w)
+			bg, err := graph.OpenBinary(p)
+			if err != nil {
+				t.Fatalf("%s/%d workers: %v", name, w, err)
+			}
+			if bg.Fingerprint() != ref.Fingerprint() {
+				t.Fatalf("%s/%d workers: fingerprint %#x, want %#x",
+					name, w, bg.Fingerprint(), ref.Fingerprint())
+			}
+			res, err := core.Solve(bg.Graph, core.ProblemMIS, core.Options{Strategy: core.StrategyDegk, Seed: 5})
+			if err != nil {
+				t.Fatalf("%s/%d workers: %v", name, w, err)
+			}
+			if got := res.SolutionDigest(); got != want {
+				t.Fatalf("%s/%d workers: solution digest %#x, heap-built graph gave %#x",
+					name, w, got, want)
+			}
+			if err := bg.Close(); err != nil {
+				t.Fatalf("%s/%d workers: close: %v", name, w, err)
+			}
+		}
+	}
+}

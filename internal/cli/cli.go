@@ -6,7 +6,6 @@ package cli
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -14,17 +13,13 @@ import (
 )
 
 // LoadGraph resolves the tools' common graph selection: a -file path (edge
-// list, or METIS format for .graph/.metis) or a single positional dataset
-// instance name built at the given scale and seed.
+// list, METIS format for .graph/.metis, or binary CSR for .scsr/.bin) or a
+// single positional dataset instance name built at the given scale and
+// seed.
 func LoadGraph(file string, args []string, scale float64, seed uint64) (*graph.Graph, error) {
 	switch {
 	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadAuto(file, f)
+		return graph.LoadFile(file)
 	case len(args) == 1:
 		spec, ok := dataset.Get(args[0])
 		if !ok {

@@ -13,6 +13,8 @@ package dataset
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"slices"
 	"strings"
 	"sync"
@@ -211,15 +213,62 @@ func Get(name string) (Spec, bool) {
 // many experiments builds each instance once.
 var cache sync.Map
 
-// Load builds (or returns the cached) graph for a spec.
+// CacheDirEnv names the environment variable that, when set to a writable
+// directory, makes Load keep built instances as .scsr files there. A cached
+// instance loads via the binary fast path (mmap on raw little-endian
+// hosts) instead of regenerating, which turns repeat experiment runs from
+// minutes of generator work into milliseconds of open.
+const CacheDirEnv = "SYMBREAK_DATASET_CACHE"
+
+// diskCachePath names the on-disk cache entry for (name, scale, seed).
+func diskCachePath(dir string, s Spec, scale float64, seed uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s@%g@%d.scsr", s.Name, scale, seed))
+}
+
+// Load builds (or returns the cached) graph for a spec. With CacheDirEnv
+// set, the disk cache is consulted between the in-process map and the
+// generator; cache misses are written back best-effort (a failed write
+// never fails the load).
 func Load(s Spec, scale float64, seed uint64) *graph.Graph {
 	key := fmt.Sprintf("%s|%g|%d", s.Name, scale, seed)
 	if g, ok := cache.Load(key); ok {
 		return g.(*graph.Graph)
 	}
+	dir := os.Getenv(CacheDirEnv)
+	if dir != "" {
+		p := diskCachePath(dir, s, scale, seed)
+		if bg, err := graph.OpenBinary(p); err == nil {
+			// The mapping (if any) is retained: cached instances live for
+			// the run, exactly like generator-built ones.
+			cache.Store(key, bg.Graph)
+			return bg.Graph
+		}
+		// Missing or unreadable entry: rebuild (and overwrite) below.
+	}
 	g := s.Build(scale, seed)
+	if dir != "" {
+		writeDiskCache(diskCachePath(dir, s, scale, seed), g)
+	}
 	cache.Store(key, g)
 	return g
+}
+
+// writeDiskCache persists g atomically (temp file + rename, so concurrent
+// experiment processes never observe a half-written entry).
+func writeDiskCache(path string, g *graph.Graph) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".scsr-cache-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	tmp.Close()
+	if err := graph.WriteBinaryFile(name, g, graph.BinaryOptions{}); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
 }
 
 // ClearCache drops all memoized graphs (tests use it to bound memory).

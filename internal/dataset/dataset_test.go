@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/graph"
@@ -111,5 +112,41 @@ func TestScaleChangesSize(t *testing.T) {
 	large := s.Build(0.08, 3)
 	if large.NumVertices() <= small.NumVertices() {
 		t.Fatalf("scale had no effect: %d vs %d", small.NumVertices(), large.NumVertices())
+	}
+}
+
+func TestDiskCache(t *testing.T) {
+	defer ClearCache()
+	dir := t.TempDir()
+	t.Setenv(CacheDirEnv, dir)
+	s, _ := Get("lp1")
+
+	a := Load(s, testScale, 9)
+	p := diskCachePath(dir, s, testScale, 9)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("disk cache entry not written: %v", err)
+	}
+
+	// A fresh in-process cache must hit the disk entry and agree exactly.
+	ClearCache()
+	b := Load(s, testScale, 9)
+	if a == b {
+		t.Fatal("in-process cache not cleared (test is vacuous)")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("disk-cached graph fingerprint %#x, want %#x", b.Fingerprint(), a.Fingerprint())
+	}
+
+	// A corrupt entry falls back to the generator and is repaired.
+	ClearCache()
+	if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := Load(s, testScale, 9)
+	if c.Fingerprint() != a.Fingerprint() {
+		t.Fatal("corrupt disk entry changed the loaded graph")
+	}
+	if fi, err := os.Stat(p); err != nil || fi.Size() <= 4 {
+		t.Fatalf("corrupt entry not rewritten (err=%v)", err)
 	}
 }

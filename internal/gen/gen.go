@@ -12,6 +12,7 @@ package gen
 
 import (
 	"cmp"
+	"io"
 	"math"
 	"slices"
 
@@ -30,25 +31,71 @@ func Kron(scale int, edgeFactor int, seed uint64) *graph.Graph {
 	edges := make([]graph.Edge, m)
 	par.Range(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			r := par.NewRNG(par.Hash64(seed, int64(i)))
-			var u, v int
-			for bit := 0; bit < scale; bit++ {
-				p := r.Float64()
-				switch {
-				case p < 0.57: // a: top-left
-				case p < 0.76: // b: top-right
-					v |= 1 << uint(bit)
-				case p < 0.95: // c: bottom-left
-					u |= 1 << uint(bit)
-				default: // d: bottom-right
-					u |= 1 << uint(bit)
-					v |= 1 << uint(bit)
-				}
-			}
-			edges[i] = graph.Edge{U: int32(u), V: int32(v)}
+			edges[i] = kronEdge(scale, seed, int64(i))
 		}
 	})
 	return graph.FromEdges(n, edges)
+}
+
+// kronEdge computes the i-th R-MAT edge for (scale, seed). Each edge is a
+// pure function of its index, which is what lets Kron parallelize freely
+// and KronStream reproduce the exact same edge sequence incrementally.
+func kronEdge(scale int, seed uint64, i int64) graph.Edge {
+	r := par.NewRNG(par.Hash64(seed, i))
+	var u, v int
+	for bit := 0; bit < scale; bit++ {
+		p := r.Float64()
+		switch {
+		case p < 0.57: // a: top-left
+		case p < 0.76: // b: top-right
+			v |= 1 << uint(bit)
+		case p < 0.95: // c: bottom-left
+			u |= 1 << uint(bit)
+		default: // d: bottom-right
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+	}
+	return graph.Edge{U: int32(u), V: int32(v)}
+}
+
+// KronStream is Kron as a graph.EdgeStream: it yields the identical edge
+// sequence batch by batch without materializing the edge list, so
+// graph.BuildBinaryExternal can write R-MAT instances far larger than
+// memory. Batches are generated in parallel (each edge is independent).
+type KronStream struct {
+	scale int
+	seed  uint64
+	m     int64
+	pos   int64
+}
+
+// NewKronStream returns the streaming form of Kron(scale, edgeFactor,
+// seed): same vertex count, same edges, same order.
+func NewKronStream(scale, edgeFactor int, seed uint64) *KronStream {
+	return &KronStream{scale: scale, seed: seed, m: int64(edgeFactor) << uint(scale)}
+}
+
+// NumVertices reports 2^scale.
+func (s *KronStream) NumVertices() int { return 1 << uint(s.scale) }
+
+// NumEdges reports the total (pre-dedup) edge count of the stream.
+func (s *KronStream) NumEdges() int64 { return s.m }
+
+// Next fills buf with the next batch of edges.
+func (s *KronStream) Next(buf []graph.Edge) (int, error) {
+	k := int(min(int64(len(buf)), s.m-s.pos))
+	base := s.pos
+	par.Range(k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] = kronEdge(s.scale, s.seed, base+int64(i))
+		}
+	})
+	s.pos += int64(k)
+	if s.pos == s.m {
+		return k, io.EOF
+	}
+	return k, nil
 }
 
 // RGG generates a random geometric graph: n points uniform in the unit

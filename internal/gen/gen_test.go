@@ -248,3 +248,48 @@ func TestLPSmallCore(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKronStreamMatchesKron(t *testing.T) {
+	const scale, ef, seed = 10, 8, 7
+	want := Kron(scale, ef, seed)
+	s := NewKronStream(scale, ef, seed)
+	if s.NumVertices() != want.NumVertices() {
+		t.Fatalf("stream n = %d, want %d", s.NumVertices(), want.NumVertices())
+	}
+	b := graph.NewBuilder(s.NumVertices())
+	buf := make([]graph.Edge, 777) // odd batch size to exercise refills
+	var total int64
+	for {
+		k, err := s.Next(buf)
+		b.AddEdges(buf[:k])
+		total += int64(k)
+		if err != nil {
+			break
+		}
+	}
+	if total != s.NumEdges() {
+		t.Fatalf("stream yielded %d edges, declared %d", total, s.NumEdges())
+	}
+	got := b.Build()
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("stream-built graph fingerprint %#x, want %#x", got.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestKronStreamExternalBuild(t *testing.T) {
+	const scale, ef, seed = 9, 6, 3
+	dir := t.TempDir()
+	p := dir + "/kron.scsr"
+	hdr, err := graph.BuildBinaryExternal(p, NewKronStream(scale, ef, seed),
+		graph.ExtOptions{TmpDir: dir, ChunkArcs: 1 << 10, Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Kron(scale, ef, seed)
+	if hdr.Fingerprint != want.Fingerprint() {
+		t.Fatalf("external kron fingerprint %#x, want %#x", hdr.Fingerprint, want.Fingerprint())
+	}
+	if _, err := graph.VerifyBinaryFile(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,13 +25,53 @@ func fnvMix64(h, v uint64) uint64 {
 // they were constructed — have equal fingerprints, and the value is stable
 // across processes and worker counts. The serving layer uses it as the
 // graph component of solve-cache and request-coalescing keys.
+//
+// Graphs loaded from a .scsr file carry the header's fingerprint and
+// return it without re-hashing; graphstat -validate recomputes and
+// cross-checks it.
 func (g *Graph) Fingerprint() uint64 {
-	h := fnvMix64(uint64(fnvOffset64), uint64(g.NumVertices()))
-	for _, o := range g.off {
+	if g.fp != 0 {
+		return g.fp
+	}
+	// canonicalOff makes the zero-value empty graph hash identically to a
+	// built empty graph (off = [0]) — and to its serialized form.
+	return fingerprintArrays(g.NumVertices(), g.canonicalOff(), g.adj)
+}
+
+// fingerprintArrays is the fingerprint computation proper, shared with the
+// binary format's validation path (which must recompute the hash from raw
+// sections regardless of any cached value).
+func fingerprintArrays(n int, off []int64, adj []int32) uint64 {
+	h := fnvMix64(uint64(fnvOffset64), uint64(n))
+	for _, o := range off {
 		h = fnvMix64(h, uint64(o))
 	}
-	for _, v := range g.adj {
+	for _, v := range adj {
 		h = fnvMix64(h, uint64(v))
 	}
 	return h
 }
+
+// fingerprintState is the incremental form of fingerprintArrays for
+// producers that stream the adjacency section (the external builder): mix
+// the vertex count, then every offset word, then every adjacency word, in
+// order.
+type fingerprintState struct{ h uint64 }
+
+func newFingerprintState(n int) *fingerprintState {
+	return &fingerprintState{h: fnvMix64(uint64(fnvOffset64), uint64(n))}
+}
+
+func (s *fingerprintState) mixInt64s(ws []int64) {
+	for _, w := range ws {
+		s.h = fnvMix64(s.h, uint64(w))
+	}
+}
+
+func (s *fingerprintState) mixInt32s(ws []int32) {
+	for _, w := range ws {
+		s.h = fnvMix64(s.h, uint64(w))
+	}
+}
+
+func (s *fingerprintState) sum() uint64 { return s.h }

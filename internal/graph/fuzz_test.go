@@ -46,6 +46,79 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzTextBinaryRoundTrip drives the text parser into both binary
+// encodings and back, pinning the whole chain to the content fingerprint:
+// whatever the text parser accepts must survive text -> .scsr (raw and
+// compressed) -> memory bit-identically.
+func FuzzTextBinaryRoundTrip(f *testing.F) {
+	seeds := []string{
+		"3 2\n0 1\n1 2\n",
+		"1 0\n",
+		"0 0\n",
+		"5 3\n0 4\n4 0\n2 2\n",
+		"2000 1\n0 1999\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		want := g.Fingerprint()
+		for _, opt := range []BinaryOptions{{}, {Compress: true}, {Compress: true, BlockSize: 3}} {
+			var buf bytes.Buffer
+			if werr := WriteBinary(&buf, g, opt); werr != nil {
+				t.Fatalf("%+v: write failed: %v", opt, werr)
+			}
+			g2, rerr := ReadBinary(bytes.NewReader(buf.Bytes()))
+			if rerr != nil {
+				t.Fatalf("%+v: round trip parse failed: %v", opt, rerr)
+			}
+			if got := fingerprintArrays(g2.NumVertices(), g2.canonicalOff(), g2.adj); got != want {
+				t.Fatalf("%+v: round trip fingerprint %#x, want %#x", opt, got, want)
+			}
+		}
+	})
+}
+
+// FuzzReadBinary throws arbitrary bytes at the binary reader: it must
+// reject or parse without panicking, and anything it accepts must
+// re-serialize to a stream that parses back to the same content.
+func FuzzReadBinary(f *testing.F) {
+	addGraph := func(g *Graph, opt BinaryOptions) {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g, opt); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	addGraph(&Graph{}, BinaryOptions{})
+	addGraph(paperGraph(), BinaryOptions{})
+	addGraph(paperGraph(), BinaryOptions{Compress: true})
+	addGraph(path(40), BinaryOptions{Compress: true, BlockSize: 4})
+	f.Add([]byte("SCSR\r\n\x1a\n garbage"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteBinary(&buf, g, BinaryOptions{}); werr != nil {
+			t.Fatalf("re-serialize failed: %v", werr)
+		}
+		g2, rerr := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if rerr != nil {
+			t.Fatalf("re-parse failed: %v", rerr)
+		}
+		got := fingerprintArrays(g2.NumVertices(), g2.canonicalOff(), g2.adj)
+		want := fingerprintArrays(g.NumVertices(), g.canonicalOff(), g.adj)
+		if got != want {
+			t.Fatalf("re-serialized content fingerprint %#x, want %#x", got, want)
+		}
+	})
+}
+
 func FuzzReadMETIS(f *testing.F) {
 	seeds := []string{
 		"3 2\n2\n1 3\n2\n",

@@ -21,6 +21,13 @@ import (
 type Graph struct {
 	off []int64 // len NumVertices()+1; adjacency list of v is adj[off[v]:off[v+1]]
 	adj []int32 // neighbor ids, sorted ascending within each list
+
+	// fp is the content fingerprint carried by the binary loaders (the
+	// .scsr header stores it, so mmap-backed graphs never re-hash their
+	// adjacency). Zero means "not known"; it is only ever set during
+	// construction, before the graph is shared, so Fingerprint needs no
+	// synchronization.
+	fp uint64
 }
 
 // NumVertices reports the number of vertices.

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy open path at compile time; platforms
+// without the unix mmap syscalls always take the portable heap-read path.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("graph: mmap not supported on this platform")
+
+func mmapRO(f *os.File, length int) ([]byte, error) {
+	return nil, errMmapUnsupported
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,30 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy open path at compile time.
+const mmapSupported = true
+
+// mmapRO maps the first length bytes of f read-only and shared (the pages
+// come straight from the page cache and are shared across processes
+// mapping the same file). The mapping outlives f being closed; release it
+// with munmapBytes.
+func mmapRO(f *os.File, length int) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping returned by mmapRO.
+func munmapBytes(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

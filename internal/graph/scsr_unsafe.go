@@ -1,0 +1,35 @@
+package graph
+
+// Zero-copy reinterpretation of mapped .scsr sections as word slices. Only
+// the mmap fast path uses these: the sections start at offsets that are
+// multiples of 8 within a page-aligned mapping, so the casts are aligned,
+// and the host must be little-endian for the on-disk words to be the
+// in-memory representation (checked via hostLittleEndian before use).
+
+import "unsafe"
+
+// hostLittleEndian reports whether the running host stores integers
+// little-endian (true on every platform Go currently targets except a few
+// big-endian ports; checked at startup with a two-byte probe).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int64View reinterprets an 8-aligned little-endian byte section as
+// []int64 without copying. The returned slice aliases b.
+func int64View(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+}
+
+// int32View reinterprets a 4-aligned little-endian byte section as
+// []int32 without copying. The returned slice aliases b.
+func int32View(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}

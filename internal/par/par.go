@@ -136,6 +136,53 @@ func Count(n int, pred func(i int) bool) int64 {
 	})
 }
 
+// ForErr runs fn(i) for every i in [0, n) in parallel and returns the
+// error from the globally lowest failing index, or nil if every call
+// succeeded. Each chunk stops at its own first error, and chunks above an
+// already-failed chunk are skipped entirely, so fn may not be invoked for
+// every index after a failure — but every index below the lowest failing
+// one is always visited, which makes the returned error deterministic
+// under any worker count. Intended for parallel decode/validate loops
+// where the first structural error is the interesting one.
+func ForErr(n int, fn func(i int) error) error {
+	workers := Workers()
+	nc := numChunksFor(n, workers)
+	if nc == 0 {
+		return nil
+	}
+	if nc == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, nc)
+	failed := atomic.Int64{}
+	failed.Store(int64(nc))
+	runN(n, workers, func(c, lo, hi int) {
+		if int64(c) > failed.Load() {
+			return // a lower chunk already failed; this error can't win
+		}
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				errs[c] = err
+				for {
+					cur := failed.Load()
+					if int64(c) >= cur || failed.CompareAndSwap(cur, int64(c)) {
+						return
+					}
+				}
+			}
+		}
+	})
+	if f := failed.Load(); f < int64(nc) {
+		return errs[f]
+	}
+	return nil
+}
+
 // MaxIndexed returns the maximum of fn(i) over [0, n), or identity when
 // n == 0.
 func MaxIndexed[T int | int32 | int64 | float64](n int, identity T, fn func(i int) T) T {

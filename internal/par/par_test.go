@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -275,4 +276,42 @@ func TestNumChunksBounds(t *testing.T) {
 		}
 	}
 	SetWorkers(0)
+}
+
+func TestForErr(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 2, 3, 7} {
+		SetWorkers(w)
+		// No failures.
+		var hits int32
+		if err := ForErr(1000, func(i int) error {
+			atomic.AddInt32(&hits, 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("w=%d: unexpected error %v", w, err)
+		}
+		if hits != 1000 {
+			t.Fatalf("w=%d: fn ran %d times, want 1000", w, hits)
+		}
+		// Several failing indices: the lowest one must win under every
+		// worker count, however chunks get scheduled.
+		for trial := 0; trial < 20; trial++ {
+			err := ForErr(100_000, func(i int) error {
+				if i == 777 || i == 40_000 || i == 99_999 {
+					return fmt.Errorf("fail@%d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "fail@777" {
+				t.Fatalf("w=%d: got %v, want fail@777", w, err)
+			}
+		}
+		// Empty and tiny loops.
+		if err := ForErr(0, func(int) error { return fmt.Errorf("never") }); err != nil {
+			t.Fatalf("w=%d: empty loop returned %v", w, err)
+		}
+		if err := ForErr(1, func(int) error { return fmt.Errorf("one") }); err == nil {
+			t.Fatalf("w=%d: single-index error lost", w)
+		}
+	}
 }

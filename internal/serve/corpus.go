@@ -68,10 +68,13 @@ func (c *Corpus) AddDatasets(names []string, scale float64, seed uint64) error {
 	return nil
 }
 
-// AddDir loads every regular file in dir as a graph (edge list, or METIS
-// for .graph/.metis — the same auto-detection as the -file flag) and
-// registers it under its base name without extension. Files are loaded in
-// sorted name order so corpus listings are deterministic.
+// AddDir loads every regular file in dir as a graph (edge list, METIS for
+// .graph/.metis, or binary CSR for .scsr/.bin — the same extension
+// dispatch as the -file flag) and registers it under its base name without
+// extension. Binary files open via the mmap fast path where available, and
+// their header fingerprint is used directly, so a corpus of .scsr files
+// starts serving without parsing or re-hashing any adjacency. Files are
+// loaded in sorted name order so corpus listings are deterministic.
 func (c *Corpus) AddDir(dir string) error {
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -86,12 +89,7 @@ func (c *Corpus) AddDir(dir string) error {
 	sort.Strings(names)
 	for _, fn := range names {
 		path := filepath.Join(dir, fn)
-		f, err := os.Open(path)
-		if err != nil {
-			return fmt.Errorf("serve: corpus file: %w", err)
-		}
-		g, err := graph.ReadAuto(path, f)
-		f.Close()
+		g, err := graph.LoadFile(path)
 		if err != nil {
 			return fmt.Errorf("serve: corpus file %s: %w", path, err)
 		}

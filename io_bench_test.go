@@ -1,0 +1,110 @@
+package repro
+
+// Benchmarks for the binary graph I/O path (DESIGN.md § Binary graph
+// format): opening a raw .scsr via mmap versus parallel-decoding the
+// compressed encoding. Both write their file once per process into a
+// shared temp dir and then time only the load. LoadBinary touches every
+// adjacency word after opening, so the mmap number includes faulting the
+// pages in, not just the (constant-time) map call.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// ioBenchFiles lazily writes the benchmark graph in both encodings.
+var ioBenchFiles = struct {
+	once      sync.Once
+	raw, comp string
+	err       error
+}{}
+
+func ioBenchSetup(b *testing.B) (raw, comp string) {
+	b.Helper()
+	f := &ioBenchFiles
+	f.once.Do(func() {
+		dir, err := os.MkdirTemp("", "scsr-bench-")
+		if err != nil {
+			f.err = err
+			return
+		}
+		g := gen.Kron(15, 8, 1)
+		f.raw = filepath.Join(dir, "bench-raw.scsr")
+		f.comp = filepath.Join(dir, "bench-comp.scsr")
+		if err := graph.WriteBinaryFile(f.raw, g, graph.BinaryOptions{}); err != nil {
+			f.err = err
+			return
+		}
+		if f.err = graph.WriteBinaryFile(f.comp, g, graph.BinaryOptions{Compress: true}); f.err != nil {
+			return
+		}
+		// Warm both files (page cache, heap sizing) so the single-iteration
+		// bench-smoke run measures steady-state load, not first-touch cost.
+		for _, p := range []string{f.raw, f.comp} {
+			bg, err := graph.OpenBinary(p)
+			if err != nil {
+				f.err = err
+				return
+			}
+			sumAdjacency(bg.Graph)
+			if err := bg.Close(); err != nil {
+				f.err = err
+				return
+			}
+		}
+	})
+	if f.err != nil {
+		b.Fatal(f.err)
+	}
+	return f.raw, f.comp
+}
+
+// sumAdjacency forces every adjacency word to be read.
+func sumAdjacency(g *graph.Graph) int64 {
+	var sum int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			sum += int64(w)
+		}
+	}
+	return sum
+}
+
+func BenchmarkLoadBinary(b *testing.B) {
+	raw, _ := ioBenchSetup(b)
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bg, err := graph.OpenBinary(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += sumAdjacency(bg.Graph)
+		if err := bg.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkDecodeAdjacency(b *testing.B) {
+	_, comp := ioBenchSetup(b)
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bg, err := graph.OpenBinary(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += sumAdjacency(bg.Graph)
+		if err := bg.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
