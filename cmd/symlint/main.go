@@ -1,15 +1,24 @@
 // Command symlint runs the repository's static-analysis suite
-// (internal/lint): determinism, trace-pairing and parallel-runtime
-// invariant checks over Go package patterns.
+// (internal/lint): determinism, trace-pairing, parallel-runtime and
+// interprocedural dataflow invariant checks over Go package patterns.
 //
 // Standalone:
 //
-//	symlint [-json] [-C dir] [packages...]      # default pattern ./...
+//	symlint [-json] [-C dir] [-baseline file] [packages...]   # default ./...
 //
-// Findings print as file:line:col: [analyzer] message, one per line, and
-// the exit status is 1 when anything was found. -json emits the findings
-// as a JSON array instead. -list prints the suite with each analyzer's
-// doc line and scope.
+// Findings print as file:line:col: [analyzer] message, one per line in a
+// stable (file, line, analyzer) order, and the exit status is 1 when
+// anything was found. -json emits the findings as a JSON array instead.
+// -list prints the suite, sorted by name, with each analyzer's doc line
+// and scope.
+//
+// Baselines: -baseline FILE subtracts the grandfathered findings
+// recorded in FILE (keyed analyzer/file/message with counts, no line
+// numbers) before deciding the exit status, and warns about stale
+// entries whose findings no longer exist. -write-baseline FILE records
+// the current findings as the new baseline. -write-alloc-baseline
+// regenerates each package's allocgate.baseline.json from the compiler's
+// current escape analysis of its //lint:hotpath functions.
 //
 // The command also speaks the `go vet -vettool` protocol (version and
 // flag probes plus the per-package .cfg mode), so
@@ -17,7 +26,8 @@
 //	go build -o /tmp/symlint ./cmd/symlint
 //	go vet -vettool=/tmp/symlint ./...
 //
-// runs the same suite under the vet harness with its caching.
+// runs the same suite under the vet harness with its caching (allocgate
+// excepted: a vet unit must not shell back out to the go tool).
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -49,6 +60,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	dir := flag.String("C", ".", "directory to resolve package patterns in")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	baseline := flag.String("baseline", "", "subtract grandfathered findings recorded in this file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings as the baseline file and exit")
+	writeAllocBaseline := flag.Bool("write-alloc-baseline", false, "regenerate allocgate.baseline.json for packages with //lint:hotpath functions and exit")
 	flag.Parse()
 
 	if *list {
@@ -73,10 +87,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *writeAllocBaseline {
+		wrote := 0
+		for _, pkg := range pkgs {
+			n, ok, err := lint.WriteAllocBaseline(pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "symlint: %s: %v\n", pkg.Path, err)
+				os.Exit(1)
+			}
+			if ok {
+				fmt.Printf("%s: %d grandfathered allocation(s)\n", pkg.Path, n)
+				wrote++
+			}
+		}
+		if wrote == 0 {
+			fmt.Fprintln(os.Stderr, "symlint: no //lint:hotpath functions in the named packages")
+		}
+		return
+	}
+
 	diags, err := lint.Run(pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *writeBaseline != "" {
+		anchor := filepath.Dir(*writeBaseline)
+		if err := lint.WriteBaseline(*writeBaseline, diags, anchor); err != nil {
+			fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d finding(s) grandfathered\n", *writeBaseline, len(diags))
+		return
+	}
+	if *baseline != "" {
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
+			os.Exit(1)
+		}
+		anchor := filepath.Dir(*baseline)
+		for _, e := range b.Prune(diags, anchor) {
+			fmt.Fprintf(os.Stderr, "symlint: stale baseline entry (fixed? remove it): %s %s %q\n", e.Analyzer, e.File, e.Message)
+		}
+		diags = b.Filter(diags, anchor)
 	}
 	if *jsonOut {
 		if diags == nil {

@@ -149,6 +149,8 @@ func (e *Engine) pullRound(size, n int) bool {
 // output buffers are concatenated in chunk order and sorted, so the
 // result is in vertex order regardless of worker count or which chunk
 // claimed a contended destination.
+//
+//lint:hotpath
 func edgeMapPush(g *graph.Graph, f *Subset, ops Ops) *Subset {
 	n := g.NumVertices()
 	vs := f.Vertices()
@@ -195,6 +197,8 @@ func edgeMapPush(g *graph.Graph, f *Subset, ops Ops) *Subset {
 // successful update makes Cond false (BFS claims its first frontier
 // neighbor in sorted adjacency order — deterministic); without one it
 // aggregates over all frontier neighbors.
+//
+//lint:hotpath
 func edgeMapPull(g *graph.Graph, f *Subset, ops Ops) *Subset {
 	n := g.NumVertices()
 	in := f.Bitset()

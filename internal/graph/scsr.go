@@ -298,6 +298,8 @@ func decodeList(buf []byte, v int32, dst []int32, n int) (int, error) {
 // decodeAdjacencyInto decodes the compressed payload into adj, one block
 // per parallel task; degrees come from off. Returns the error at the
 // lowest failing block (deterministic under any worker count).
+//
+//lint:hotpath
 func decodeAdjacencyInto(off []int64, adj []int32, n, blockSize int, ends []uint64, payload []byte) error {
 	numBlocks := len(ends)
 	return par.ForErr(numBlocks, func(b int) error {
@@ -564,6 +566,8 @@ func decodeInt64sLE(b []byte) []int64 {
 }
 
 // decodeInt32sLE converts a little-endian byte section to int32 words.
+//
+//lint:hotpath
 func decodeInt32sLE(b []byte) []int32 {
 	ws := make([]int32, len(b)/4)
 	par.Range(len(ws), func(lo, hi int) {

@@ -1,0 +1,135 @@
+package lint
+
+// The driver-level findings baseline: a committed JSON file of
+// grandfathered diagnostics that symlint subtracts from a run before
+// deciding its exit code. Unlike //lint:allow (which blesses a specific
+// line forever), a baseline entry is a debt ledger: it is keyed by
+// (analyzer, file, message) with a count — deliberately NOT by line
+// number, so unrelated edits that shift code don't churn the file — and
+// any finding beyond the recorded count still fails. Regenerate with
+// `symlint -write-baseline`; shrink it whenever a listed finding is
+// actually fixed (stale entries are reported by Prune).
+
+import (
+	"cmp"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+)
+
+// Baseline is the committed set of grandfathered findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry grandfathers up to Count findings of one analyzer with
+// one message in one file (path relative to the baseline file's
+// directory, slash-separated).
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(raw, b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// baselineKey normalizes one diagnostic to its baseline identity. The
+// file is made relative to dir when possible (the baseline should be
+// position-independent of the checkout location).
+func baselineKey(d Diagnostic, dir string) string {
+	file := d.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return d.Analyzer + "\x00" + file + "\x00" + d.Message
+}
+
+// Filter removes grandfathered findings: for each (analyzer, file,
+// message) the first Count occurrences are dropped, the rest kept. dir
+// anchors the relative paths (the directory holding the baseline file).
+func (b *Baseline) Filter(diags []Diagnostic, dir string) []Diagnostic {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.Analyzer+"\x00"+filepath.ToSlash(e.File)+"\x00"+e.Message] += e.Count
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		key := baselineKey(d, dir)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// Prune returns the entries no current finding matches — paid-off debt
+// that should be deleted from the committed file.
+func (b *Baseline) Prune(diags []Diagnostic, dir string) []BaselineEntry {
+	current := map[string]int{}
+	for _, d := range diags {
+		current[baselineKey(d, dir)]++
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Entries {
+		key := e.Analyzer + "\x00" + filepath.ToSlash(e.File) + "\x00" + e.Message
+		if current[key] < e.Count {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
+// WriteBaseline records diags as the new baseline at path, relative to
+// dir, sorted for stable diffs.
+func WriteBaseline(path string, diags []Diagnostic, dir string) error {
+	counts := map[[3]string]int{}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if dir != "" {
+			if rel, err := filepath.Rel(dir, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		counts[[3]string{d.Analyzer, file, d.Message}]++
+	}
+	b := Baseline{}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k[0], File: k[1], Message: k[2], Count: n})
+	}
+	slices.SortFunc(b.Entries, func(x, y BaselineEntry) int {
+		if c := cmp.Compare(x.File, y.File); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(x.Analyzer, y.Analyzer); c != 0 {
+			return c
+		}
+		return cmp.Compare(x.Message, y.Message)
+	})
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

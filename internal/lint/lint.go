@@ -74,13 +74,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Pass is one analyzer applied to one package.
+// Pass is one analyzer applied to one package. Prog is the whole-program
+// view shared by every pass of a Run; the interprocedural analyzers
+// (detflow, mmaplife, atomicmix) read cross-package summaries from it.
+// It may be nil under degraded drivers (the vet harness sees one package
+// at a time), in which case those analyzers fall back to a
+// single-package program.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	diags      *[]Diagnostic
 	allow      map[lineKey]bool
@@ -147,9 +153,17 @@ func (p *Pass) directiveLines(directive, name string) map[lineKey]bool {
 	return lines
 }
 
-// RunAnalyzer applies one analyzer to one package, ignoring scope. The
-// driver and the fixture tests share this entry point.
+// RunAnalyzer applies one analyzer to one package, ignoring scope, with
+// a program horizon of just that package.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunAnalyzerProg(a, pkg, NewProgram([]*Package{pkg}))
+}
+
+// RunAnalyzerProg applies one analyzer to one package with an explicit
+// whole-program view. The driver and the fixture tests share this entry
+// point; prog may span many packages so interprocedural analyzers see
+// across them.
+func RunAnalyzerProg(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -157,6 +171,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Prog:     prog,
 		diags:    &diags,
 	}
 	if err := a.Run(pass); err != nil {

@@ -24,6 +24,69 @@ func TestSpanpairFixture(t *testing.T)     { RunFixture(t, Spanpair, "spanpair")
 func TestGatedmetricsFixture(t *testing.T) { RunFixture(t, Gatedmetrics, "gatedmetrics") }
 func TestNoslicesortFixture(t *testing.T)  { RunFixture(t, Noslicesort, "noslicesort") }
 
+func TestDetflowFixture(t *testing.T) {
+	RunFixturePkgs(t, Detflow, "detflow", "detflow/helper")
+}
+func TestMmaplifeFixture(t *testing.T)  { RunFixture(t, Mmaplife, "mmaplife") }
+func TestAtomicmixFixture(t *testing.T) { RunFixture(t, Atomicmix, "atomicmix") }
+func TestAllocgateFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	RunFixture(t, Allocgate, "allocgate")
+}
+
+// TestAllocgateBaselineFixture: the allocgatebase fixture's only hotpath
+// allocation is grandfathered in its committed allocgate.baseline.json,
+// so the analyzer must stay silent (the fixture has no want comments).
+func TestAllocgateBaselineFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	RunFixture(t, Allocgate, "allocgatebase")
+}
+
+// TestDetflowCatchesWhatDetrandMisses pins the reason detflow exists: the
+// detflowgap fixture stores a laundered rand draw into a solution field.
+// Its only nondeterminism lives in another package, so the one-level
+// detrand and detrange checks report nothing — while detflow's function
+// summaries carry the taint across the package boundary to the sink.
+func TestDetflowCatchesWhatDetrandMisses(t *testing.T) {
+	pkgs, err := LoadPackages(".", "./testdata/src/detflowgap", "./testdata/src/detflow/helper")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	prog := NewProgram(pkgs)
+	var gap *Package
+	for _, pkg := range pkgs {
+		if filepath.Base(pkg.Path) == "detflowgap" {
+			gap = pkg
+		}
+	}
+	if gap == nil {
+		t.Fatal("detflowgap package not loaded")
+	}
+	for _, a := range []*Analyzer{Detrange, Detrand} {
+		diags, err := RunAnalyzerProg(a, gap, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s unexpectedly fires on detflowgap: %v (the gap fixture no longer demonstrates the blind spot)", a.Name, diags)
+		}
+	}
+	diags, err := RunAnalyzerProg(Detflow, gap, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("detflow on detflowgap: got %d findings, want exactly 1: %v", len(diags), diags)
+	}
+
+	// Full coverage of the fixture's want comments.
+	RunFixturePkgs(t, Detflow, "detflowgap", "detflow/helper")
+}
+
 // TestRepoIsLintClean runs the full suite, with scopes, over the whole
 // module — the same invocation as `make lint` — and requires zero
 // findings. This is the machine-enforced version of the determinism and
@@ -40,6 +103,18 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	// The gate is whole-module: commands and examples must be in the set,
+	// not just internal/ — laundering through a cmd/ helper is exactly
+	// what the interprocedural analyzers exist to catch.
+	loaded := map[string]bool{}
+	for _, p := range pkgs {
+		loaded[p.Path] = true
+	}
+	for _, path := range []string{"repro/cmd/symbreak", "repro/cmd/symlint", "repro/examples/quickstart"} {
+		if !loaded[path] {
+			t.Errorf("whole-module lint gate does not cover %s", path)
+		}
 	}
 	diags, err := Run(pkgs)
 	if err != nil {
@@ -175,11 +250,11 @@ func f() int {
 
 func TestAnalyzersSuiteShape(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 6 {
-		t.Fatalf("suite has %d analyzers, want 6", len(as))
+	if len(as) != 10 {
+		t.Fatalf("suite has %d analyzers, want 10", len(as))
 	}
 	seen := map[string]bool{}
-	for _, a := range as {
+	for i, a := range as {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %+v missing name, doc or run", a)
 		}
@@ -187,10 +262,49 @@ func TestAnalyzersSuiteShape(t *testing.T) {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+		if i > 0 && as[i-1].Name >= a.Name {
+			t.Errorf("suite not sorted by name: %q before %q", as[i-1].Name, a.Name)
+		}
 	}
-	for _, name := range []string{"detrange", "detrand", "rawgo", "spanpair", "gatedmetrics", "noslicesort"} {
+	for _, name := range []string{
+		"detrange", "detrand", "rawgo", "spanpair", "gatedmetrics", "noslicesort",
+		"detflow", "mmaplife", "atomicmix", "allocgate",
+	} {
 		if !seen[name] {
 			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+}
+
+// TestSortDiagnostics pins the stable output order `-json` promises:
+// findings sort by (file, line, analyzer, column).
+func TestSortDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+		}
+	}
+	diags := []Diagnostic{
+		mk("b.go", 1, 1, "detrand"),
+		mk("a.go", 9, 2, "rawgo"),
+		mk("a.go", 9, 8, "detflow"),
+		mk("a.go", 9, 1, "detflow"),
+		mk("a.go", 2, 1, "spanpair"),
+	}
+	SortDiagnostics(diags)
+	want := []Diagnostic{
+		mk("a.go", 2, 1, "spanpair"),
+		mk("a.go", 9, 1, "detflow"),
+		mk("a.go", 9, 8, "detflow"),
+		mk("a.go", 9, 2, "rawgo"),
+		mk("b.go", 1, 1, "detrand"),
+	}
+	for i := range want {
+		if diags[i].Analyzer != want[i].Analyzer || diags[i].Pos != want[i].Pos {
+			t.Fatalf("position %d: got %s:%d:%d [%s], want %s:%d:%d [%s]",
+				i, diags[i].Pos.Filename, diags[i].Pos.Line, diags[i].Pos.Column, diags[i].Analyzer,
+				want[i].Pos.Filename, want[i].Pos.Line, want[i].Pos.Column, want[i].Analyzer)
 		}
 	}
 }

@@ -14,20 +14,40 @@ import (
 // x/tools/go/analysis/analysistest.
 func RunFixture(t testing.TB, a *Analyzer, fixture string) {
 	t.Helper()
-	pkgs, err := LoadPackages(".", "./testdata/src/"+fixture)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
+	RunFixturePkgs(t, a, fixture)
+}
+
+// RunFixturePkgs is RunFixture for interprocedural fixtures spanning
+// several packages: every named testdata/src path is source-loaded into
+// one shared Program (so cross-package summaries resolve), the analyzer
+// runs over each, and want comments are honored in all of them.
+func RunFixturePkgs(t testing.TB, a *Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		patterns[i] = "./testdata/src/" + fx
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", fixture, len(pkgs))
-	}
-	pkg := pkgs[0]
-	diags, err := RunAnalyzer(a, pkg)
+	pkgs, err := LoadPackages(".", patterns...)
 	if err != nil {
-		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+		t.Fatalf("loading fixture %v: %v", fixtures, err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("fixture %v: got %d packages, want %d", fixtures, len(pkgs), len(fixtures))
+	}
+	prog := NewProgram(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunAnalyzerProg(a, pkg, prog)
+		if err != nil {
+			t.Fatalf("running %s on fixture %v: %v", a.Name, fixtures, err)
+		}
+		diags = append(diags, ds...)
 	}
 
-	wants := parseWants(t, pkg)
+	wants := map[lineKey][]*want{}
+	for _, pkg := range pkgs {
+		parseWants(t, pkg, wants)
+	}
 	for _, d := range diags {
 		key := lineKey{d.Pos.Filename, d.Pos.Line}
 		matched := false
@@ -62,12 +82,11 @@ var (
 	tickedRe = regexp.MustCompile("`[^`]*`")
 )
 
-// parseWants collects // want expectations, keyed by file and line. Both
-// `// want "re"` and backquoted `// want ` + "`re`" forms are accepted,
-// with several patterns per comment.
-func parseWants(t testing.TB, pkg *Package) map[lineKey][]*want {
+// parseWants collects // want expectations into wants, keyed by file and
+// line. Both `// want "re"` and backquoted `// want ` + "`re`" forms are
+// accepted, with several patterns per comment.
+func parseWants(t testing.TB, pkg *Package, wants map[lineKey][]*want) {
 	t.Helper()
-	wants := map[lineKey][]*want{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -101,5 +120,4 @@ func parseWants(t testing.TB, pkg *Package) map[lineKey][]*want {
 			}
 		}
 	}
-	return wants
 }

@@ -1,0 +1,794 @@
+package lint
+
+// A forward taint engine over the Program: configurable sources, sinks
+// and sanitizers, with one dataflow summary cached per function and a
+// global fixpoint that propagates summaries across the call graph. The
+// engine powers detflow (nondeterminism taint); its summaries are the
+// "interprocedural" in symlint v2 — a helper that returns rand.Intn(n)
+// taints its callers' values exactly as a direct call would, across
+// package boundaries.
+//
+// The analysis is object-based and flow-insensitive within a function
+// (a variable is tainted if any assignment reaching it is tainted,
+// iterated to a fixpoint) and context-insensitive across functions
+// (one summary per function: which parameters flow to the return value,
+// whether the return value is intrinsically tainted, and which
+// parameters reach a sink inside the callee). Field writes do not taint
+// the containing object — `r.Report.Solve = elapsed` leaves r clean —
+// which keeps wall-clock report plumbing from drowning the signal; the
+// protected fields themselves are modeled as sinks instead.
+//
+// Two taint flavors are tracked separately:
+//
+//   - order taint: values whose *ordering* is nondeterministic (map
+//     iteration). Sorting sanitizes it: slices.Sort/SortFunc/
+//     SortStableFunc on a value (or slices.Sorted* of it) clears the
+//     order flavor, because the canonical pattern "collect map keys,
+//     sort, iterate" is exactly how deterministic code consumes maps.
+//   - value taint: values that differ between runs (global math/rand,
+//     time.Now, crypto/rand, goroutine state, pointer formatting).
+//     Nothing sanitizes it short of the //lint:deterministic function
+//     annotation, which asserts the function's return is deterministic
+//     and forces its summary clean (the reviewed escape hatch).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// taint is one lattice element: which summary parameters (bit i = param
+// i, receiver first for methods) and which intrinsic flavors reach a
+// value. desc/pos record the provenance of the first intrinsic source
+// for the report message.
+type taint struct {
+	params uint64
+	order  bool
+	value  bool
+	desc   string
+	pos    token.Pos
+}
+
+func (t taint) tainted() bool { return t.order || t.value }
+
+func (t taint) union(u taint) taint {
+	out := taint{
+		params: t.params | u.params,
+		order:  t.order || u.order,
+		value:  t.value || u.value,
+		desc:   t.desc,
+		pos:    t.pos,
+	}
+	if out.desc == "" {
+		out.desc, out.pos = u.desc, u.pos
+	}
+	return out
+}
+
+// eq compares the summary-relevant part of two taints (provenance is
+// display-only and must not keep the fixpoint spinning).
+func (t taint) eq(u taint) bool {
+	return t.params == u.params && t.order == u.order && t.value == u.value
+}
+
+// taintSummary is the cached per-function dataflow summary.
+type taintSummary struct {
+	ret      taint  // params: which parameters flow to the return; order/value: intrinsic
+	sink     uint64 // parameters that reach a sink inside this function
+	sinkDesc string // which sink, for the call-site message
+	clean    bool   // //lint:deterministic: returns forced clean
+}
+
+func (s *taintSummary) eq(o *taintSummary) bool {
+	return s.ret.eq(o.ret) && s.sink == o.sink && s.clean == o.clean
+}
+
+// taintConfig parameterizes the engine for one analyzer.
+type taintConfig struct {
+	name string // engine cache key (the analyzer name)
+
+	// callSource classifies a resolved or unresolved call as an
+	// intrinsic source; value selects the flavor (true = value taint,
+	// false = order taint).
+	callSource func(pkg *Package, call *ast.CallExpr) (desc string, value, ok bool)
+
+	// convSource classifies a conversion T(x) as a value source.
+	convSource func(pkg *Package, call *ast.CallExpr, from, to types.Type) (desc string, ok bool)
+
+	// mapRange treats ranged-map keys and values as order sources,
+	// unless the range line carries //lint:commutative.
+	mapRange bool
+
+	// sinkField reports whether writing to the selected field is a sink.
+	sinkField func(pkg *Package, sel *ast.SelectorExpr) (desc string, ok bool)
+
+	// sinkLitField reports whether initializing field inside a composite
+	// literal of owner is a sink — the `solutionInfo{Digest: ...}`
+	// construction form of a sinkField write.
+	sinkLitField func(pkg *Package, field *types.Var, owner types.Type) (desc string, ok bool)
+
+	// sinkCall reports whether fn's arguments are sinks.
+	sinkCall func(fn *types.Func) (desc string, ok bool)
+
+	// fieldWriteTaints makes a tainted store into x.f taint x itself.
+	// detflow leaves this off (a Report timestamp must not condemn the
+	// whole Result); the mmaplife alias engine turns it on, because a
+	// struct holding a mapped view is itself a way to smuggle the view
+	// out.
+	fieldWriteTaints bool
+}
+
+// taintEngine holds the program-wide summary table for one config.
+type taintEngine struct {
+	prog *Program
+	cfg  taintConfig
+	sums map[string]*taintSummary // by funcKey
+
+	commutative   map[*Package]map[lineKey]bool
+	deterministic map[*Package]map[lineKey]bool
+}
+
+// taintEngineFor builds (or returns the cached) engine for cfg on prog.
+// Building runs the global summary fixpoint: every summary is recomputed
+// until none changes. The iteration order is the program's deterministic
+// declaration order, and the loop terminates because summaries only grow
+// over a finite lattice (64 param bits + 2 flavor bits per function).
+func taintEngineFor(prog *Program, cfg taintConfig) *taintEngine {
+	key := "taint:" + cfg.name
+	if e, ok := prog.cache[key].(*taintEngine); ok {
+		return e
+	}
+	e := &taintEngine{
+		prog:          prog,
+		cfg:           cfg,
+		sums:          map[string]*taintSummary{},
+		commutative:   map[*Package]map[lineKey]bool{},
+		deterministic: map[*Package]map[lineKey]bool{},
+	}
+	for _, pkg := range prog.Pkgs {
+		e.commutative[pkg] = packageDirectiveLines(pkg, "lint:commutative")
+		e.deterministic[pkg] = packageDirectiveLines(pkg, "lint:deterministic")
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, fi := range prog.decls {
+			next := e.summarize(fi, nil)
+			prev := e.sums[funcKey(fi.Fn)]
+			if prev == nil || !prev.eq(next) {
+				e.sums[funcKey(fi.Fn)] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	prog.cache[key] = e
+	return e
+}
+
+// packageDirectiveLines is directiveLines without a Pass: the engine
+// needs the commutative/deterministic annotations while summarizing
+// packages the current pass is not reporting on.
+func packageDirectiveLines(pkg *Package, directive string) map[lineKey]bool {
+	p := &Pass{Fset: pkg.Fset, Files: pkg.Files}
+	return p.directiveLines(directive, "")
+}
+
+// summary returns fn's summary, or nil for functions with no body in the
+// program (stdlib, interface methods, export-data-only packages).
+func (e *taintEngine) summary(fn *types.Func) *taintSummary {
+	if fn == nil {
+		return nil
+	}
+	return e.sums[funcKey(fn)]
+}
+
+// report runs the engine's sink checks over every function declared in
+// pass's package, reporting each intrinsically tainted value that
+// reaches a sink. The summary fixpoint must already be stable.
+func (e *taintEngine) report(pass *Pass) {
+	for _, fi := range e.prog.decls {
+		if fi.Pkg.Path != pass.Pkg.Path() {
+			continue
+		}
+		e.summarize(fi, pass)
+	}
+}
+
+// funcScan is the per-function analysis state.
+type funcScan struct {
+	eng    *taintEngine
+	fi     *FuncInfo
+	params map[types.Object]int
+	st     map[types.Object]taint
+	pass   *Pass // non-nil in report mode
+	sum    *taintSummary
+}
+
+// summarize runs the local fixpoint over fi's body and derives its
+// summary. With pass non-nil it additionally reports intrinsic taint
+// reaching sinks.
+func (e *taintEngine) summarize(fi *FuncInfo, pass *Pass) *taintSummary {
+	sc := e.scan(fi, pass)
+	// Final pass: fold returns into the summary and check sinks (and,
+	// in report mode, emit findings).
+	sc.walk(true)
+	return sc.sum
+}
+
+// scan runs the local fixpoint over fi's body and returns the scan with
+// its settled object states (no sink checks, no return folding).
+func (e *taintEngine) scan(fi *FuncInfo, pass *Pass) *funcScan {
+	sc := &funcScan{
+		eng:    e,
+		fi:     fi,
+		params: map[types.Object]int{},
+		st:     map[types.Object]taint{},
+		pass:   pass,
+		sum:    &taintSummary{},
+	}
+	pos := fi.Pkg.Fset.Position(fi.Decl.Pos())
+	if e.deterministic[fi.Pkg][lineKey{pos.Filename, pos.Line}] {
+		sc.sum.clean = true
+	}
+	for i, obj := range paramObjects(fi.Pkg.Info, fi.Decl) {
+		if i < 64 {
+			sc.params[obj] = i
+			sc.st[obj] = taint{params: uint64(1) << i}
+		}
+	}
+	// Local fixpoint: the per-statement updates are order-insensitive,
+	// so repeat the walk until the object states stop growing. The cap
+	// guards against sanitize/re-taint ping-pong; the final walk
+	// (summarize) visits statements in source order, so the canonical
+	// "taint, sort, use" sequence still lands clean.
+	for iter := 0; iter < 32; iter++ {
+		if !sc.walk(false) {
+			break
+		}
+	}
+	return sc
+}
+
+// walk traverses the function body once. In update mode (final=false) it
+// only grows the object states, returning whether anything changed. In
+// final mode it also folds returns into the summary and checks sinks.
+func (sc *funcScan) walk(final bool) (changed bool) {
+	info := sc.fi.Pkg.Info
+	results := namedResults(info, sc.fi.Decl)
+	walkStack(sc.fi.Decl.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			changed = sc.assign(n, final) || changed
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == 1 && len(vs.Names) > 1 {
+					t := sc.exprTaint(vs.Values[0])
+					for _, name := range vs.Names {
+						changed = sc.taintObj(info.Defs[name], t) || changed
+					}
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						changed = sc.taintObj(info.Defs[name], sc.exprTaint(vs.Values[i])) || changed
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			changed = sc.rangeStmt(n) || changed
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				sc.sanitizeSort(call)
+			}
+		case *ast.CallExpr:
+			if final {
+				sc.checkCallSinks(n)
+			}
+		case *ast.CompositeLit:
+			if final {
+				sc.checkCompositeSinks(n)
+			}
+		case *ast.ReturnStmt:
+			// Returns inside closures are the closure's, not this
+			// function's; folding them in would make every function
+			// that merely *defines* a nondeterministic callback look
+			// tainted itself.
+			if !final || hasFuncLit(stack) {
+				return
+			}
+			for _, res := range n.Results {
+				sc.sum.ret = sc.sum.ret.union(sc.exprTaint(res))
+			}
+			for _, obj := range results {
+				sc.sum.ret = sc.sum.ret.union(sc.st[obj])
+			}
+		}
+	})
+	return changed
+}
+
+// hasFuncLit reports whether any ancestor on the walk stack is a
+// function literal.
+func hasFuncLit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// namedResults returns the objects of the function's named result
+// parameters (assignments to them must reach the return summary).
+func namedResults(info *types.Info, decl *ast.FuncDecl) []types.Object {
+	if decl.Type.Results == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, field := range decl.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// errorType is the universe error interface, for skipping error values.
+var errorType = types.Universe.Lookup("error").Type()
+
+// taintObj merges t into obj's state, reporting whether it grew. Error
+// values are never tainted: `bg, err := Open(...)` must not smear the
+// call's taint onto err, whose only payload is a message.
+func (sc *funcScan) taintObj(obj types.Object, t taint) bool {
+	if obj == nil || !(t.tainted() || t.params != 0) {
+		return false
+	}
+	if types.Identical(obj.Type(), errorType) {
+		return false
+	}
+	cur, ok := sc.st[obj]
+	next := cur.union(t)
+	if ok && next.eq(cur) {
+		return false
+	}
+	sc.st[obj] = next
+	return true
+}
+
+// assign handles one assignment statement, updating local object states
+// and (in final mode) checking field-write sinks.
+func (sc *funcScan) assign(as *ast.AssignStmt, final bool) (changed bool) {
+	// Tuple form: x, y := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		t := sc.exprTaint(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			changed = sc.assignOne(lhs, t, final) || changed
+		}
+		return changed
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		changed = sc.assignOne(lhs, sc.exprTaint(as.Rhs[i]), final) || changed
+	}
+	return changed
+}
+
+// assignOne applies taint t to one assignment target.
+func (sc *funcScan) assignOne(lhs ast.Expr, t taint, final bool) bool {
+	info := sc.fi.Pkg.Info
+	if final {
+		sc.checkFieldSink(lhs, t)
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		return sc.taintObj(obj, t)
+	}
+	if sc.eng.cfg.fieldWriteTaints {
+		if id := rootIdent(lhs); id != nil {
+			return sc.taintObj(info.Uses[id], t)
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps parens, derefs, field selections and indexing down
+// to the base identifier of an lvalue, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rangeStmt taints the key/value bindings of a range statement: ranging
+// a tainted collection taints its elements, and ranging a map is itself
+// an order source (unless annotated //lint:commutative).
+func (sc *funcScan) rangeStmt(rs *ast.RangeStmt) (changed bool) {
+	info := sc.fi.Pkg.Info
+	t := sc.exprTaint(rs.X)
+	isMap := false
+	if tv, ok := info.Types[rs.X]; ok && tv.Type != nil {
+		_, isMap = tv.Type.Underlying().(*types.Map)
+	}
+	if isMap && sc.eng.cfg.mapRange {
+		pos := sc.fi.Pkg.Fset.Position(rs.Pos())
+		if !sc.eng.commutative[sc.fi.Pkg][lineKey{pos.Filename, pos.Line}] {
+			t = t.union(taint{
+				order: true,
+				desc:  "map iteration order at " + shortPos(sc.fi.Pkg, rs.Pos()),
+				pos:   rs.Pos(),
+			})
+		}
+	}
+	bind := func(e ast.Expr, bt taint) {
+		id, isIdent := ast.Unparen(e).(*ast.Ident)
+		if !isIdent {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		changed = sc.taintObj(obj, bt) || changed
+	}
+	if rs.Key != nil {
+		kt := t
+		if !isMap {
+			kt = taint{} // slice/array/string/int range: deterministic index
+		}
+		bind(rs.Key, kt)
+	}
+	if rs.Value != nil {
+		bind(rs.Value, t)
+	}
+	return changed
+}
+
+// sanitizeSort clears order taint from the argument of a statement-level
+// slices.Sort/SortFunc/SortStableFunc call.
+func (sc *funcScan) sanitizeSort(call *ast.CallExpr) {
+	info := sc.fi.Pkg.Info
+	pkg, name, ok := calleePkgFunc(info, call)
+	if !ok || pkg != "slices" || len(call.Args) == 0 {
+		return
+	}
+	switch name {
+	case "Sort", "SortFunc", "SortStableFunc":
+	default:
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if t, tracked := sc.st[obj]; tracked && t.order {
+		t.order = false
+		sc.st[obj] = t
+	}
+}
+
+// exprTaint computes the taint of one expression from the current state.
+func (sc *funcScan) exprTaint(e ast.Expr) taint {
+	info := sc.fi.Pkg.Info
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return taint{}
+		}
+		return sc.st[obj]
+	case *ast.ParenExpr:
+		return sc.exprTaint(e.X)
+	case *ast.CallExpr:
+		return sc.callTaint(e)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return taint{} // qualified package-level reference
+			}
+		}
+		return sc.exprTaint(e.X)
+	case *ast.IndexExpr:
+		// Either a generic instantiation (the function value: clean) or
+		// an element selection, where a tainted index selects a
+		// nondeterministic element.
+		if tv, ok := info.Types[e.X]; ok && tv.Type != nil {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return taint{}
+			}
+		}
+		return sc.exprTaint(e.X).union(sc.exprTaint(e.Index))
+	case *ast.BinaryExpr:
+		return sc.exprTaint(e.X).union(sc.exprTaint(e.Y))
+	case *ast.UnaryExpr:
+		return sc.exprTaint(e.X)
+	case *ast.StarExpr:
+		return sc.exprTaint(e.X)
+	case *ast.SliceExpr:
+		return sc.exprTaint(e.X)
+	case *ast.TypeAssertExpr:
+		return sc.exprTaint(e.X)
+	case *ast.CompositeLit:
+		var t taint
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.union(sc.exprTaint(kv.Value))
+				continue
+			}
+			t = t.union(sc.exprTaint(el))
+		}
+		return t
+	default:
+		return taint{}
+	}
+}
+
+// callTaint computes the taint of a call's result: intrinsic sources,
+// conversions, builtins, sorting sanitizers, summarized program
+// functions, and conservative argument propagation for everything
+// external.
+func (sc *funcScan) callTaint(call *ast.CallExpr) taint {
+	info := sc.fi.Pkg.Info
+	cfg := sc.eng.cfg
+
+	if isConversion(info, call) && len(call.Args) == 1 {
+		t := sc.exprTaint(call.Args[0])
+		if cfg.convSource != nil {
+			from := info.Types[call.Args[0]].Type
+			to := info.Types[call.Fun].Type
+			if desc, ok := cfg.convSource(sc.fi.Pkg, call, from, to); ok {
+				t = t.union(taint{value: true, desc: desc + " at " + shortPos(sc.fi.Pkg, call.Pos()), pos: call.Pos()})
+			}
+		}
+		return t
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "len", "cap", "new", "make":
+				return taint{}
+			default: // append, copy, min, max, ...
+				return sc.argsTaint(call)
+			}
+		}
+	}
+
+	// slices.Sorted/SortedFunc/SortedStableFunc return a sorted copy:
+	// order taint is sanitized, value taint passes through.
+	if pkg, name, ok := calleePkgFunc(info, call); ok && pkg == "slices" {
+		switch name {
+		case "Sorted", "SortedFunc", "SortedStableFunc":
+			t := sc.argsTaint(call)
+			t.order = false
+			return t
+		}
+	}
+
+	if cfg.callSource != nil {
+		if desc, value, ok := cfg.callSource(sc.fi.Pkg, call); ok {
+			return sc.argsTaint(call).union(taint{
+				order: !value,
+				value: value,
+				desc:  desc + " at " + shortPos(sc.fi.Pkg, call.Pos()),
+				pos:   call.Pos(),
+			})
+		}
+	}
+
+	callee := staticCallee(info, call)
+	if sum := sc.eng.summary(callee); sum != nil {
+		if sum.clean {
+			return taint{}
+		}
+		t := taint{order: sum.ret.order, value: sum.ret.value}
+		if t.tainted() {
+			t.desc = sum.ret.desc + " via " + callee.Name() + "()"
+			t.pos = call.Pos()
+		}
+		isMethod := callIsMethod(info, call)
+		for i := 0; i < 64; i++ {
+			if sum.ret.params&(uint64(1)<<i) == 0 {
+				continue
+			}
+			if arg := argForParam(call, isMethod, i); arg != nil {
+				t = t.union(sc.exprTaint(arg))
+			}
+		}
+		return t
+	}
+
+	// External or dynamic call: conservatively propagate receiver and
+	// argument taint into the result.
+	t := sc.argsTaint(call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := info.Selections[sel]; isSel {
+			t = t.union(sc.exprTaint(sel.X))
+		}
+	}
+	return t
+}
+
+// argsTaint unions the taint of every argument of call.
+func (sc *funcScan) argsTaint(call *ast.CallExpr) taint {
+	var t taint
+	for _, a := range call.Args {
+		t = t.union(sc.exprTaint(a))
+	}
+	return t
+}
+
+// checkFieldSink reports (and records in the summary) taint written to a
+// protected field. The target is unwrapped through indexing and derefs,
+// so `res.Matching.Mate[i] = v` anchors on the Mate selector.
+func (sc *funcScan) checkFieldSink(lhs ast.Expr, t taint) {
+	if sc.eng.cfg.sinkField == nil || !(t.tainted() || t.params != 0) {
+		return
+	}
+	for {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = l.X
+			continue
+		case *ast.StarExpr:
+			lhs = l.X
+			continue
+		}
+		break
+	}
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	desc, ok := sc.eng.cfg.sinkField(sc.fi.Pkg, sel)
+	if !ok {
+		return
+	}
+	sc.sum.sink |= t.params
+	if sc.sum.sinkDesc == "" {
+		sc.sum.sinkDesc = desc
+	}
+	if sc.pass != nil && t.tainted() {
+		sc.pass.Reportf(sel.Pos(),
+			"nondeterministic value flows into %s: %s", desc, t.desc)
+	}
+}
+
+// checkCompositeSinks reports taint initialized into protected fields
+// through composite literals, keyed (`T{Field: v}`) or positional
+// (`T{v}`) — the construction-time form of a field-sink write.
+func (sc *funcScan) checkCompositeSinks(lit *ast.CompositeLit) {
+	cfg := sc.eng.cfg
+	if cfg.sinkLitField == nil {
+		return
+	}
+	info := sc.fi.Pkg.Info
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, _ := tv.Type.Underlying().(*types.Struct)
+	sink := func(field *types.Var, val ast.Expr) {
+		desc, isSink := cfg.sinkLitField(sc.fi.Pkg, field, tv.Type)
+		if !isSink {
+			return
+		}
+		t := sc.exprTaint(val)
+		sc.sum.sink |= t.params
+		if sc.sum.sinkDesc == "" {
+			sc.sum.sinkDesc = desc
+		}
+		if sc.pass != nil && t.tainted() {
+			sc.pass.Reportf(val.Pos(),
+				"nondeterministic value flows into %s: %s", desc, t.desc)
+		}
+	}
+	for i, el := range lit.Elts {
+		if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+			key, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if field, isVar := info.Uses[key].(*types.Var); isVar && field.IsField() {
+				sink(field, kv.Value)
+			}
+			continue
+		}
+		if st != nil && i < st.NumFields() {
+			sink(st.Field(i), el)
+		}
+	}
+}
+
+// checkCallSinks reports taint passed to sink functions — directly
+// configured sinks and program functions whose summary says a parameter
+// reaches a sink.
+func (sc *funcScan) checkCallSinks(call *ast.CallExpr) {
+	info := sc.fi.Pkg.Info
+	cfg := sc.eng.cfg
+	callee := staticCallee(info, call)
+	if callee == nil {
+		return
+	}
+
+	if cfg.sinkCall != nil {
+		if desc, ok := cfg.sinkCall(callee); ok {
+			for _, a := range call.Args {
+				t := sc.exprTaint(a)
+				sc.sum.sink |= t.params
+				if sc.sum.sinkDesc == "" {
+					sc.sum.sinkDesc = desc
+				}
+				if sc.pass != nil && t.tainted() {
+					sc.pass.Reportf(a.Pos(),
+						"nondeterministic value flows into %s: %s", desc, t.desc)
+				}
+			}
+			return
+		}
+	}
+
+	sum := sc.eng.summary(callee)
+	if sum == nil || sum.sink == 0 {
+		return
+	}
+	isMethod := callIsMethod(info, call)
+	for i := 0; i < 64; i++ {
+		if sum.sink&(uint64(1)<<i) == 0 {
+			continue
+		}
+		arg := argForParam(call, isMethod, i)
+		if arg == nil {
+			continue
+		}
+		t := sc.exprTaint(arg)
+		sc.sum.sink |= t.params
+		if sc.sum.sinkDesc == "" {
+			sc.sum.sinkDesc = sum.sinkDesc
+		}
+		if sc.pass != nil && t.tainted() {
+			sc.pass.Reportf(arg.Pos(),
+				"nondeterministic value flows into %s (via call to %s): %s",
+				sum.sinkDesc, callee.Name(), t.desc)
+		}
+	}
+}
+
+// shortPos renders a position as base-filename:line for provenance
+// descriptions.
+func shortPos(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,40 @@
+// Package allocgate exercises the escape-analysis gate: //lint:hotpath
+// functions must not gain heap allocations beyond the committed baseline
+// (this package has none, so every hot allocation is a finding).
+package allocgate
+
+var leaked *int
+
+// Escape via a helper: leak publishes its argument, so the compiler
+// moves x to the heap inside the hot function.
+func leak(p *int) { leaked = p }
+
+//lint:hotpath
+func kernel(n int) int {
+	buf := make([]int, n) // want `new heap allocation in //lint:hotpath kernel`
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+//lint:hotpath
+func interproc() int {
+	x := 42 // want `new heap allocation in //lint:hotpath interproc`
+	leak(&x)
+	return x
+}
+
+// Reviewed: the annotation suppresses the finding on the allocation line.
+//
+//lint:hotpath
+func suppressed(n int) []int {
+	//lint:allow allocgate
+	return make([]int, n)
+}
+
+// Not annotated: allocates freely without findings.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,11 @@
+// Package allocgatebase pairs a hotpath allocation with a committed
+// allocgate.baseline.json grandfathering it: the analyzer must report
+// nothing here. Regenerate the baseline with
+// `symlint -write-alloc-baseline ./testdata/src/allocgatebase` after a
+// toolchain bump.
+package allocgatebase
+
+//lint:hotpath
+func kernel(n int) []int {
+	return make([]int, n) // grandfathered in allocgate.baseline.json
+}

@@ -1,0 +1,67 @@
+// Package atomicmix exercises the mixed-atomicity analyzer: a field or
+// variable accessed via sync/atomic anywhere must be atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	safe atomic.Int64 // method-based type: mixed access is impossible
+}
+
+var pending int64
+
+// The atomic side of the mix.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// The plain side: flagged, pointing back at the atomic site.
+func read(c *counter) int64 {
+	return c.hits // want `plain access of .*counter.hits, which is accessed atomically`
+}
+
+// Interprocedural: the helper derefs plainly, so handing it the atomic
+// field's address is a mixed access at the call site.
+func plainDeref(p *int64) int64 { return *p }
+
+func mixedViaHelper(c *counter) int64 {
+	return plainDeref(&c.hits) // want `non-atomic access via plainDeref`
+}
+
+// Two levels deep: wrap forwards to plainDeref, and the pointer-summary
+// fixpoint carries the plain bit through.
+func wrap(p *int64) int64 { return plainDeref(p) }
+
+func mixedViaWrapper(c *counter) int64 {
+	return wrap(&c.hits) // want `non-atomic access via wrap`
+}
+
+// Clean: a helper that itself uses atomics keeps the access atomic.
+func atomicDeref(p *int64) int64 { return atomic.LoadInt64(p) }
+
+func okViaHelper(c *counter) int64 {
+	return atomicDeref(&c.hits)
+}
+
+// Clean: the method-based sync/atomic types are exempt by construction.
+func bumpSafe(c *counter) { c.safe.Add(1) }
+
+func readSafe(c *counter) int64 { return c.safe.Load() }
+
+// Clean: composite-literal initialization before the value is shared is
+// the universal constructor idiom, not a race.
+func newCounter() *counter { return &counter{hits: 1} }
+
+// Package variables are tracked the same way as fields.
+func bumpPending() { atomic.AddInt64(&pending, 1) }
+
+func drainPending() int64 {
+	return pending // want `plain access of .*pending, which is accessed atomically`
+}
+
+// Reviewed: the annotation suppresses the finding on its line.
+func peekPending() int64 {
+	//lint:allow atomicmix
+	return pending
+}

@@ -1,0 +1,95 @@
+// Package detflow exercises the interprocedural determinism taint
+// analysis: no nondeterministic value may reach a solution field.
+package detflow
+
+import (
+	"math/rand"
+	"slices"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/lint/testdata/src/detflow/helper"
+	"repro/internal/matching"
+)
+
+// Direct source into a solution field.
+func direct(m *matching.Matching) {
+	m.Mate[0] = int32(rand.Intn(4)) // want `nondeterministic value flows into matching.Matching.Mate`
+}
+
+// Laundered through two helpers in another package: only the function
+// summaries connect the rand source to the sink.
+func laundered(c *coloring.Coloring) {
+	v := helper.Mix(helper.Draw(8))
+	c.Color[0] = v // want `nondeterministic value flows into coloring.Coloring.Color`
+}
+
+// Same-package helper chain.
+func stamp() int64 { return time.Now().UnixNano() }
+
+func localChain(c *coloring.Coloring) {
+	c.Color[1] = int32(stamp()) // want `nondeterministic value flows into coloring.Coloring.Color`
+}
+
+// An interprocedural sink: setColor writes its argument into the
+// solution, so handing it a tainted value is flagged at the call site.
+func setColor(c *coloring.Coloring, v int32) {
+	c.Color[2] = v
+}
+
+func viaSink(c *coloring.Coloring) {
+	setColor(c, int32(stamp())) // want `via call to setColor`
+}
+
+// Map iteration order is an order source; sorting sanitizes it.
+func sortedKeys(c *coloring.Coloring, weight map[int32]int32) {
+	keys := make([]int32, 0, len(weight))
+	for k := range weight {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	c.Color[3] = keys[0] // sorted: clean
+}
+
+func unsortedKeys(c *coloring.Coloring, weight map[int32]int32) {
+	var first int32
+	for k := range weight {
+		first = k
+		break
+	}
+	c.Color[4] = first // want `nondeterministic value flows into coloring.Coloring.Color`
+}
+
+// Assembling a Result: the tainted payload write is the finding, not the
+// pointer plumbing around it.
+func assemble(res *core.Result, m *matching.Matching) {
+	m.Mate[1] = helper.Draw(2) // want `nondeterministic value flows into matching.Matching.Mate`
+	res.Matching = m
+}
+
+// Construction-time sink: initializing a protected field inside a
+// composite literal is the same write as assigning it afterwards.
+func build() coloring.Coloring {
+	return coloring.Coloring{
+		Color: []int32{helper.Draw(3)}, // want `nondeterministic value flows into coloring.Coloring.Color`
+	}
+}
+
+// Reviewed: the annotation suppresses the finding on its line.
+func suppressed(m *matching.Matching) {
+	//lint:allow detflow
+	m.Mate[2] = int32(time.Now().UnixNano())
+}
+
+// Reviewed at the function level: //lint:deterministic forces the
+// summary clean, so the caller below is not flagged.
+//
+//lint:deterministic
+func seeded() int32 {
+	return rand.Int31n(3)
+}
+
+func usesSeeded(c *coloring.Coloring) {
+	c.Color[5] = seeded() // clean: seeded is annotated deterministic
+}

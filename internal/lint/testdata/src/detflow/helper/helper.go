@@ -1,0 +1,18 @@
+// Package helper launders nondeterminism behind exported functions. The
+// one-level pattern checks see nothing suspicious at its call sites; only
+// summary-based analysis connects callers to the sources below.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp returns wall-clock nanoseconds. Its summary carries value taint.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw returns a variate from the global math/rand source.
+func Draw(n int32) int32 { return rand.Int31n(n) }
+
+// Mix is taint-neutral plumbing: parameter 0 flows to the return.
+func Mix(x int32) int32 { return x ^ 0x55 }

@@ -1,0 +1,16 @@
+// Package detflowgap demonstrates the blind spot of the one-level
+// checks: the nondeterminism lives in another package, so detrange and
+// detrand report nothing here, while detflow's summaries carry the taint
+// from helper.Draw's global rand source into the sink.
+package detflowgap
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/lint/testdata/src/detflow/helper"
+)
+
+// Assign colors from a laundered rand draw. No rand import, no map
+// range, nothing for the intraprocedural analyzers to see.
+func Assign(c *coloring.Coloring) {
+	c.Color[0] = helper.Draw(4) // want `nondeterministic value flows into coloring.Coloring.Color`
+}

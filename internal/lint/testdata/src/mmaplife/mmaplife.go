@@ -1,0 +1,132 @@
+// Package mmaplife exercises the mmap lifetime analyzer over
+// graph.OpenBinary handles: no alias of the mapping may be used or
+// escape past Close.
+package mmaplife
+
+import "repro/internal/graph"
+
+var cache *graph.Graph
+
+// Use of a derived view after a plain Close.
+func useAfterClose(path string) int {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return 0
+	}
+	g := bg.Graph
+	bg.Close()
+	return g.NumVertices() // want `use of mapped graph view .g. after Close`
+}
+
+// Direct handle access after a plain Close.
+func handleAfterClose(path string) []int32 {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil
+	}
+	bg.Close()
+	return bg.Neighbors(0) // want `access to BinaryGraph.Neighbors after Close`
+}
+
+// Returning a view while a deferred Close pends unmaps it before use.
+func returnPastClose(path string) *graph.Graph {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil
+	}
+	defer bg.Close()
+	return bg.Graph // want `mapped graph view escapes`
+}
+
+// Caching a view and then Closing leaves the cache dangling.
+func storeThenClose(path string) {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return
+	}
+	cache = bg.Graph // want `mapped graph view stored outside`
+	bg.Close()
+}
+
+// view derives an alias in a helper; the summary carries it back, so the
+// use after Close in the caller is still caught.
+func view(bg *graph.BinaryGraph) *graph.Graph { return bg.Graph }
+
+func launderedAlias(path string) int {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return 0
+	}
+	g := view(bg)
+	bg.Close()
+	return g.NumVertices() // want `use of mapped graph view .g. after Close`
+}
+
+// A returned closure capturing the view outlives the deferred Close.
+func closureEscape(path string) func() int {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil
+	}
+	defer bg.Close()
+	g := bg.Graph
+	return func() int { return g.NumVertices() } // want `returned closure captures a mapped graph view past Close`
+}
+
+type holder struct{ g *graph.Graph }
+
+// Storing through a parameter escapes the view to the caller.
+func stash(h *holder, path string) {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return
+	}
+	defer bg.Close()
+	h.g = bg.Graph // want `mapped graph view stored outside`
+}
+
+// Clean: no Close — the mapping intentionally lives for the process
+// (the LoadFile pattern).
+func keepAlive(path string) (*graph.Graph, error) {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil, err
+	}
+	return bg.Graph, nil
+}
+
+// Clean: Close only on the error path; the happy path hands the mapping
+// to the caller.
+func closeOnError(path string) (*graph.Graph, error) {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil, err
+	}
+	if bg.NumVertices() == 0 {
+		bg.Close()
+		return nil, err
+	}
+	return bg.Graph, nil
+}
+
+// Clean: scalars computed from the mapping are copies, safe past Close.
+func countThenClose(path string) int {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return 0
+	}
+	n := bg.NumVertices()
+	bg.Close()
+	return n
+}
+
+// Reviewed: annotated allow on the escaping return.
+func suppressed(path string) *graph.Graph {
+	bg, err := graph.OpenBinary(path)
+	if err != nil {
+		return nil
+	}
+	defer bg.Close()
+	//lint:allow mmaplife
+	return bg.Graph
+}

@@ -113,11 +113,25 @@ func VetUnit(cfgPath string) int {
 		return 1
 	}
 
-	diags, err := Run([]*Package{pkg})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "symlint: %v\n", err)
-		return 1
+	// One package per vet unit: the interprocedural analyzers degrade
+	// to a single-package program horizon (cross-package laundering is
+	// the standalone driver's and TestRepoIsLintClean's job), and
+	// allocgate is skipped outright — it shells back out to the go
+	// tool, which a vet unit must not do.
+	prog := NewProgram([]*Package{pkg})
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Name == Allocgate.Name || !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		ds, runErr := RunAnalyzerProg(a, pkg, prog)
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "symlint: %v\n", runErr)
+			return 1
+		}
+		diags = append(diags, ds...)
 	}
+	SortDiagnostics(diags)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s\n", d)
 	}

@@ -69,6 +69,8 @@ func Greedy(g *graph.Graph, seed uint64) (*IndepSet, Stats) {
 // paper benchmarks against, every round sweeps the full member list with a
 // status check rather than compacting an active list; a phase handed a
 // small member set therefore sweeps only that set.
+//
+//lint:hotpath
 func lubyRun(g *graph.Graph, seed uint64, exec func(n int, kernel func(i int)),
 	status []State, set *IndepSet, members []int32) Stats {
 

@@ -245,6 +245,8 @@ func ExclusiveSum(src []int64) []int64 {
 // ExclusiveSum32 is ExclusiveSum for int32 counts with int64 offsets, the
 // shape used when building CSR offsets from degree arrays. The widening
 // happens inside the scan passes — no temporary int64 copy of src is made.
+//
+//lint:hotpath
 func ExclusiveSum32(src []int32) []int64 {
 	n := len(src)
 	out := make([]int64, n+1)
@@ -322,6 +324,8 @@ func Copy[T any](dst, src []T) {
 // per element and must be pure (same answer both times) and safe for
 // concurrent calls; every use in this repository is a flag lookup. Used
 // for frontier/active-set compaction in the iterative solvers.
+//
+//lint:hotpath
 func Filter[T any](src []T, pred func(T) bool) []T {
 	n := len(src)
 	if n == 0 {

@@ -313,5 +313,43 @@ func TestForErr(t *testing.T) {
 		if err := ForErr(1, func(int) error { return fmt.Errorf("one") }); err == nil {
 			t.Fatalf("w=%d: single-index error lost", w)
 		}
+		// Error at index 0: the very first chunk fails, and index 0 must
+		// beat every other failing index in the loop.
+		err := ForErr(100_000, func(i int) error {
+			if i == 0 || i == 50_000 {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@0" {
+			t.Fatalf("w=%d: got %v, want fail@0", w, err)
+		}
+	}
+}
+
+// TestForErrPanicPropagates pins the pool's panic contract for ForErr:
+// a panic in the body is re-raised on the calling goroutine, under both
+// the sequential (single-chunk) and parallel paths.
+func TestForErrPanicPropagates(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("w=%d: panic did not propagate", w)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("w=%d: recovered %v, want \"boom\"", w, r)
+				}
+			}()
+			ForErr(100_000, func(i int) error {
+				if i == 70_000 {
+					panic("boom")
+				}
+				return nil
+			})
+		}()
 	}
 }
